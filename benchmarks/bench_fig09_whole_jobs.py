@@ -1,0 +1,27 @@
+"""Figure 9: the effect of reusing whole job outputs (150 GB instance).
+
+Paper: L3/L11 variants sped up 9.8x on average by reusing intermediate
+whole-job outputs stored during prior executions; zero overhead (no extra
+Store operators are injected).
+"""
+
+import pytest
+
+from repro.harness import fig9_whole_jobs
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_whole_jobs(benchmark, record_experiment):
+    result = benchmark.pedantic(fig9_whole_jobs, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    average = result.row_for("query", "average")
+    # Shape: reuse is a large win on multi-job workflows.
+    assert average["speedup"] > 3.0
+    # Every variant must be at least as fast with reuse.
+    for row in result.rows:
+        assert row["reusing_jobs_min"] <= row["no_reuse_min"] * 1.001
+    # The L3 family shares its join job; all variants see similar reuse.
+    l3_times = [result.row_for("query", name)["reusing_jobs_min"]
+                for name in ("L3", "L3a", "L3b", "L3c")]
+    assert max(l3_times) < min(l3_times) * 1.25

@@ -1,0 +1,26 @@
+"""Figure 10: the effect of reusing sub-job outputs (HA, 150 GB).
+
+Paper: average speedup 24.4x when all HA-selected sub-jobs are available;
+average Store-injection overhead 1.6x.
+"""
+
+import pytest
+
+from repro.harness import fig10_sub_jobs
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_sub_jobs(benchmark, record_experiment):
+    result = benchmark.pedantic(fig10_sub_jobs, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    average = result.row_for("query", "average")
+    # Shape: an order-of-magnitude average speedup, like the paper's 24.4.
+    assert average["speedup"] > 10.0
+    # Generating sub-jobs costs extra time but not catastrophically
+    # (paper: 1.6x average).
+    assert 1.0 < average["overhead"] < 3.0
+    # Reuse must beat no-reuse for every query.
+    for row in result.rows:
+        assert row["reusing_min"] < row["no_reuse_min"]
+        assert row["generating_min"] >= row["no_reuse_min"] * 0.999

@@ -1,0 +1,23 @@
+"""Figure 12: sub-job reuse speedup at 15 GB vs 150 GB.
+
+Paper: average speedup 3.0x at 15 GB vs 24.4x at 150 GB — reuse is more
+beneficial for larger data because Tload dominates Equation 2.
+"""
+
+import pytest
+
+from repro.harness import fig12_speedup
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_speedup(benchmark, record_experiment):
+    result = benchmark.pedantic(fig12_speedup, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    average = result.row_for("query", "average")
+    # Shape: speedup grows with data size.
+    assert average["150GB"] > average["15GB"]
+    # Both scales benefit from reuse on every query.
+    for row in result.rows:
+        assert row["15GB"] > 1.0
+        assert row["150GB"] > 1.0

@@ -1,0 +1,23 @@
+"""Figure 13: execution time when reusing sub-jobs chosen by NH/HC/HA.
+
+Paper: HA matches NH (the extra sub-jobs NH stores provide no benefit);
+HC stores fewer sub-jobs and therefore benefits less; all beat no-reuse.
+"""
+
+import pytest
+
+from repro.harness import fig13_heuristic_reuse
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_heuristic_reuse(benchmark, record_experiment):
+    result = benchmark.pedantic(fig13_heuristic_reuse, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    for row in result.rows:
+        # Every reuse mode beats no reuse.
+        for mode in ("HC_min", "HA_min", "NH_min"):
+            assert row[mode] < row["no_reuse_min"]
+        # HA is at least as good as HC; NH adds nothing over HA.
+        assert row["HA_min"] <= row["HC_min"] * 1.001
+        assert row["NH_min"] >= row["HA_min"] * 0.90

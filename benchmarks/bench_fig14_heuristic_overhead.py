@@ -1,0 +1,31 @@
+"""Figure 14: execution time WITH injected Store operators per heuristic.
+
+Paper: NH is always the worst; HA is usually only slightly worse than HC,
+with wide-group queries (L6) the exception where HA is much worse.
+"""
+
+import pytest
+
+from repro.harness import fig14_heuristic_overhead
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_heuristic_overhead(benchmark, record_experiment):
+    result = benchmark.pedantic(fig14_heuristic_overhead, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    for row in result.rows:
+        # Injecting stores always costs at least the plain time.
+        for mode in ("HC_min", "HA_min", "NH_min"):
+            assert row[mode] >= row["no_reuse_min"] * 0.999
+        # The cheap heuristic never costs more than the aggressive one,
+        # and NH never costs less than HA.
+        assert row["HC_min"] <= row["HA_min"] * 1.001
+        assert row["NH_min"] >= row["HA_min"] * 0.999
+    # L6 (wide group) is where HA hurts most, as the paper calls out.
+    l6 = result.row_for("query", "L6")
+    gaps = {
+        row["query"]: row["HA_min"] - row["HC_min"]
+        for row in result.rows
+    }
+    assert gaps["L6"] == max(gaps.values())

@@ -1,0 +1,26 @@
+"""Figure 15: reusing whole jobs vs sub-jobs (HC/HA) on L3/L11 variants.
+
+Paper: all reuse types are beneficial; whole jobs give the maximum
+benefit; HA sub-jobs come close; HC trails.
+"""
+
+import pytest
+
+from repro.harness import fig15_jobs_vs_subjobs
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_jobs_vs_subjobs(benchmark, record_experiment):
+    result = benchmark.pedantic(fig15_jobs_vs_subjobs, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    for row in result.rows:
+        # Whole-job reuse gives the maximum benefit.
+        assert row["whole_jobs_min"] <= row["HA_min"] * 1.001
+        # HA is at least as good as HC (it stores strictly more sub-jobs).
+        assert row["HA_min"] <= row["HC_min"] * 1.001
+    # On the big-input variants every reuse mode beats no-reuse.
+    for name in ("L3", "L3a", "L3b", "L3c", "L11", "L11a", "L11c"):
+        row = result.row_for("query", name)
+        for mode in ("HC_min", "HA_min", "whole_jobs_min"):
+            assert row[mode] < row["no_reuse_min"]

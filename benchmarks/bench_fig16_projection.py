@@ -1,0 +1,30 @@
+"""Figure 16: overhead & speedup vs percentage of projected data (QP).
+
+Paper: as projection keeps more data, the Store overhead rises and the
+reuse speedup falls; there is a net benefit (speedup > overhead) when the
+Project reduces the input by more than half.
+"""
+
+import pytest
+
+from repro.harness import fig16_projection
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_projection(benchmark, record_experiment):
+    result = benchmark.pedantic(fig16_projection, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    overheads = result.column("overhead")
+    speedups = result.column("speedup")
+    # Monotone trends across the sweep.
+    assert overheads == sorted(overheads)
+    assert speedups == sorted(speedups, reverse=True)
+    # Net benefit at strong projection (< half the data kept)...
+    first = result.rows[0]
+    assert first["projected_pct"] < 50
+    assert first["speedup"] > first["overhead"]
+    # ... and none when almost everything is kept.
+    last = result.rows[-1]
+    assert last["projected_pct"] > 50
+    assert last["speedup"] < last["overhead"]

@@ -1,0 +1,26 @@
+"""Figure 17: overhead & speedup vs percentage of filtered data (QF).
+
+Paper: as the filter keeps more data, the Store overhead rises and the
+reuse speedup falls (six QF instantiations over Table 2's fields).
+"""
+
+import pytest
+
+from repro.harness import fig17_filter
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_filter(benchmark, record_experiment):
+    result = benchmark.pedantic(fig17_filter, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    overheads = result.column("overhead")
+    # Overhead grows with the kept fraction.
+    assert overheads == sorted(overheads)
+    # Speedup at the most selective point is the strongest (or near it),
+    # and the least selective point is the weakest.
+    speedups = result.column("speedup")
+    assert speedups[-1] == min(speedups)
+    assert max(speedups[:3]) == max(speedups)
+    # Strong filters are a clear net win.
+    assert result.rows[0]["speedup"] > result.rows[0]["overhead"]

@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrate: codec, shuffle, matcher, compiler.
+
+These are conventional multi-round pytest benchmarks (wall-clock), useful
+for tracking regressions in the engine underlying all experiments.
+"""
+
+import pytest
+
+from repro.data import decode_row, encode_row
+from repro.logical import build_logical_plan
+from repro.mapreduce.shuffle import grouped_partitions, stable_hash
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+from repro.pigmix import PAGE_VIEWS_SCHEMA, PigMixConfig, PigMixData
+from repro.restore.matcher import find_containment
+
+from repro.pigmix.queries import PigMixPaths, query_text
+
+
+@pytest.fixture(scope="module")
+def page_views_rows():
+    return PigMixData(PigMixConfig(num_page_views=2000)).page_views_rows()
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_codec_encode(benchmark, page_views_rows):
+    def encode_all():
+        return [encode_row(row, PAGE_VIEWS_SCHEMA) for row in page_views_rows]
+
+    lines = benchmark(encode_all)
+    assert len(lines) == 2000
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_codec_decode(benchmark, page_views_rows):
+    lines = [encode_row(row, PAGE_VIEWS_SCHEMA) for row in page_views_rows]
+
+    def decode_all():
+        return [decode_row(line, PAGE_VIEWS_SCHEMA) for line in lines]
+
+    rows = benchmark(decode_all)
+    assert rows == page_views_rows
+
+
+@pytest.mark.benchmark(group="micro-shuffle")
+def test_shuffle_partition_and_group(benchmark, page_views_rows):
+    keyed = [(0, row[0], row) for row in page_views_rows]
+
+    def shuffle():
+        return grouped_partitions(keyed, 28)
+
+    partitions = benchmark(shuffle)
+    assert sum(len(groups) for groups in partitions) > 0
+
+
+@pytest.mark.benchmark(group="micro-shuffle")
+def test_stable_hash_throughput(benchmark, page_views_rows):
+    keys = [row[0] for row in page_views_rows]
+
+    def hash_all():
+        return [stable_hash(key) for key in keys]
+
+    hashes = benchmark(hash_all)
+    assert len(set(hashes)) > 1
+
+
+@pytest.mark.benchmark(group="micro-compiler")
+def test_compile_l3_to_physical(benchmark):
+    text = query_text("L3", PigMixPaths())
+
+    def compile_query():
+        return logical_to_physical(build_logical_plan(parse_query(text)))
+
+    plan = benchmark(compile_query)
+    assert len(plan.operators()) > 5
+
+
+@pytest.mark.benchmark(group="micro-matcher")
+def test_containment_check(benchmark):
+    paths = PigMixPaths()
+    entry = logical_to_physical(build_logical_plan(parse_query(
+        query_text("L2", paths))))
+    target = logical_to_physical(build_logical_plan(parse_query(
+        query_text("L3", paths))))
+
+    def match():
+        return find_containment(entry, target)
+
+    result = benchmark(match)
+    # L2 projects page_views like L3 but joins power_users, not users:
+    # containment must (correctly) fail, exercising the full traversal.
+    assert result is None

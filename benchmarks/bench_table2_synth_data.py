@@ -1,0 +1,18 @@
+"""Table 2: the synthetic data set's cardinalities and selectivities."""
+
+import pytest
+
+from repro.harness import table2_synth_data
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_synth_data(benchmark, record_experiment):
+    result = benchmark.pedantic(table2_synth_data, args=("default",),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    for row in result.rows:
+        expected = 2 if row["cardinality_spec"] == 1.6 else row["cardinality_spec"]
+        assert row["cardinality_measured"] == expected
+        assert row["selected_measured_pct"] == pytest.approx(
+            row["selected_spec_pct"], rel=0.30
+        )

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures: result recording for EXPERIMENTS.md."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def record_experiment():
+    """Write an ExperimentResult's table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def record(result):
+        path = os.path.join(RESULTS_DIR, f"{result.exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.format() + "\n")
+        print()
+        print(result.format())
+        return result
+
+    return record

@@ -1,0 +1,34 @@
+"""A logical clock for eviction windows and repository statistics.
+
+The paper's eviction Rule 3 ("evict a job if it has not been reused within a
+window of time") needs a notion of time. Wall-clock time would make tests and
+benchmarks nondeterministic, so ReStore advances a logical clock: one tick
+per workflow submitted to the system.
+"""
+
+
+class LogicalClock:
+    """Monotonically increasing integer clock.
+
+    >>> clock = LogicalClock()
+    >>> clock.now()
+    0
+    >>> clock.tick()
+    1
+    """
+
+    def __init__(self, start=0):
+        if start < 0:
+            raise ValueError(f"clock must start at a non-negative tick, got {start}")
+        self._now = int(start)
+
+    def now(self):
+        """Return the current tick without advancing."""
+        return self._now
+
+    def tick(self, ticks=1):
+        """Advance the clock by ``ticks`` and return the new time."""
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        self._now += ticks
+        return self._now

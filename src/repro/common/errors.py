@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ReStore reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses mirror the subsystem boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ParseError(ReproError):
+    """Raised when a Pig Latin query cannot be tokenized or parsed.
+
+    Carries the (1-based) source position when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """Raised for malformed logical or physical plans (bad wiring, schema)."""
+
+
+class CompilationError(ReproError):
+    """Raised when a plan cannot be compiled into MapReduce jobs."""
+
+
+class DataError(ReproError):
+    """Raised for schema/type violations in rows, bags, or codecs."""
+
+
+class DfsError(ReproError):
+    """Raised by the simulated distributed file system (missing file, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a MapReduce job fails at runtime."""
+
+
+class RepositoryError(ReproError):
+    """Raised by the ReStore repository (duplicate ids, unknown entries)."""

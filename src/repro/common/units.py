@@ -1,0 +1,28 @@
+"""Byte-size units and formatting helpers."""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def format_bytes(num_bytes):
+    """Render a byte count the way the paper's Table 1 does (B/KB/MB/GB).
+
+    >>> format_bytes(27)
+    '27 B'
+    >>> format_bytes(int(1.6 * GB))
+    '1.6 GB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes < KB:
+        return f"{num_bytes} B"
+    for unit, size in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= size:
+            return f"{num_bytes / size:.1f} {unit}"
+    raise AssertionError("unreachable")
+
+
+def format_minutes(seconds):
+    """Render simulated seconds as minutes with one decimal (paper's axis)."""
+    return f"{seconds / 60.0:.1f} min"

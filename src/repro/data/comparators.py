@@ -1,0 +1,32 @@
+"""Ordering helpers for shuffle keys and ORDER BY.
+
+Pig orders nulls first, then values by type. Python 3 refuses to compare
+mixed types, so shuffle keys are wrapped in a total-order surrogate:
+``(type_rank, value)`` per scalar, applied element-wise to composite keys.
+"""
+
+_RANK_NULL = 0
+_RANK_NUMBER = 1
+_RANK_STRING = 2
+_RANK_TUPLE = 3
+
+
+def _scalar_sort_key(value):
+    if value is None:
+        return (_RANK_NULL, 0)
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, value)
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    raise TypeError(f"cannot order value of type {type(value).__name__}: {value!r}")
+
+
+def key_sort_key(key):
+    """Total-order sort key for a shuffle/order key (scalar or tuple).
+
+    >>> sorted([3, None, 'a', 1.5], key=key_sort_key)
+    [None, 1.5, 3, 'a']
+    """
+    if isinstance(key, tuple):
+        return (_RANK_TUPLE, tuple(_scalar_sort_key(item) for item in key))
+    return _scalar_sort_key(key)

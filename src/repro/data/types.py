@@ -1,0 +1,111 @@
+"""Data types for fields, plus parsing/rendering/coercion.
+
+The type system is the small fragment of Pig's that PigMix needs:
+
+* ``INT`` — Python int
+* ``DOUBLE`` — Python float
+* ``CHARARRAY`` — Python str
+* ``BAG`` — a tuple of rows (each row itself a tuple); produced by Group,
+  CoGroup, and consumed by aggregate functions.
+
+``None`` is a valid value of any type (Pig nulls).
+"""
+
+import enum
+
+from repro.common.errors import DataError
+
+
+class DataType(enum.Enum):
+    INT = "int"
+    DOUBLE = "double"
+    CHARARRAY = "chararray"
+    BAG = "bag"
+
+    def __repr__(self):
+        return f"DataType.{self.name}"
+
+
+_NULL_TOKEN = ""
+
+
+def parse_value(text, dtype):
+    """Parse ``text`` (a serialized field) into a Python value of ``dtype``.
+
+    The empty string denotes null for scalar types.
+    """
+    if dtype is DataType.BAG:
+        raise DataError("bags are parsed by the codec, not parse_value")
+    if text == _NULL_TOKEN:
+        return None
+    if dtype is DataType.INT:
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise DataError(f"bad int literal {text!r}") from exc
+    if dtype is DataType.DOUBLE:
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise DataError(f"bad double literal {text!r}") from exc
+    if dtype is DataType.CHARARRAY:
+        return text
+    raise DataError(f"unknown data type {dtype!r}")
+
+
+def render_value(value, dtype):
+    """Render a Python value as its serialized text (inverse of parse)."""
+    if value is None:
+        return _NULL_TOKEN
+    if dtype is DataType.INT:
+        return str(int(value))
+    if dtype is DataType.DOUBLE:
+        # repr round-trips floats exactly; ints-as-doubles stay readable.
+        return repr(float(value))
+    if dtype is DataType.CHARARRAY:
+        return str(value)
+    raise DataError(f"cannot render type {dtype!r} with render_value")
+
+
+def coerce_value(value, dtype):
+    """Coerce ``value`` to ``dtype``; used by explicit casts and arithmetic.
+
+    Follows Pig semantics: null coerces to null; failed coercions raise.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INT:
+        try:
+            return int(value)
+        except (TypeError, ValueError) as exc:
+            raise DataError(f"cannot cast {value!r} to int") from exc
+    if dtype is DataType.DOUBLE:
+        try:
+            return float(value)
+        except (TypeError, ValueError) as exc:
+            raise DataError(f"cannot cast {value!r} to double") from exc
+    if dtype is DataType.CHARARRAY:
+        return str(value)
+    raise DataError(f"cannot cast to {dtype!r}")
+
+
+def infer_type(value):
+    """Infer the :class:`DataType` of a Python value (for literals)."""
+    if isinstance(value, bool):
+        raise DataError("booleans are not a field type in this dialect")
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.DOUBLE
+    if isinstance(value, str):
+        return DataType.CHARARRAY
+    if isinstance(value, tuple):
+        return DataType.BAG
+    raise DataError(f"cannot infer type of {value!r}")
+
+
+def numeric_result_type(left, right):
+    """Type of an arithmetic result: DOUBLE if either side is DOUBLE."""
+    if DataType.DOUBLE in (left, right):
+        return DataType.DOUBLE
+    return DataType.INT

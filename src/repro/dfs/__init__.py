@@ -1,0 +1,18 @@
+"""Simulated HDFS: a namenode namespace over block-granular datanodes.
+
+The simulation is faithful where ReStore's behaviour depends on it:
+
+* files are split into fixed-size blocks (input splits for map tasks),
+* every block is replicated ``replication`` times across datanodes, so a
+  write costs ``replication x`` the logical bytes (the paper's Store
+  overhead comes from exactly this),
+* files carry a version and modification tick — eviction Rule 4 ("evict if
+  an input was deleted or modified") checks these.
+
+File *content* (text lines) is held by the namespace for simplicity; byte
+accounting per datanode is still exact.
+"""
+
+from repro.dfs.filesystem import DistributedFileSystem, FileStatus
+
+__all__ = ["DistributedFileSystem", "FileStatus"]

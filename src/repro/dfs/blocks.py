@@ -1,0 +1,31 @@
+"""Block descriptors: contiguous line ranges of a file with exact sizes."""
+
+
+class Block:
+    """One block of a DFS file.
+
+    ``start_line``/``end_line`` delimit the rows in the block (end
+    exclusive); ``num_bytes`` is the exact on-disk size of those rows.
+    ``replicas`` lists the datanode ids holding a copy.
+    """
+
+    __slots__ = ("block_id", "path", "index", "start_line", "end_line", "num_bytes", "replicas")
+
+    def __init__(self, block_id, path, index, start_line, end_line, num_bytes, replicas):
+        self.block_id = block_id
+        self.path = path
+        self.index = index
+        self.start_line = start_line
+        self.end_line = end_line
+        self.num_bytes = num_bytes
+        self.replicas = tuple(replicas)
+
+    @property
+    def num_lines(self):
+        return self.end_line - self.start_line
+
+    def __repr__(self):
+        return (
+            f"Block(id={self.block_id}, path={self.path!r}, index={self.index}, "
+            f"lines=[{self.start_line},{self.end_line}), bytes={self.num_bytes})"
+        )

@@ -1,0 +1,30 @@
+"""Datanodes: per-node block inventories with byte accounting."""
+
+
+class DataNode:
+    """A storage node. Tracks which blocks it holds and its used bytes."""
+
+    __slots__ = ("node_id", "_blocks", "used_bytes")
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self._blocks = {}
+        self.used_bytes = 0
+
+    def add_block(self, block):
+        if block.block_id in self._blocks:
+            raise ValueError(f"datanode {self.node_id} already holds block {block.block_id}")
+        self._blocks[block.block_id] = block
+        self.used_bytes += block.num_bytes
+
+    def remove_block(self, block_id):
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self.used_bytes -= block.num_bytes
+
+    def holds(self, block_id):
+        return block_id in self._blocks
+
+    @property
+    def num_blocks(self):
+        return len(self._blocks)

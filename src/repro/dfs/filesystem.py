@@ -1,0 +1,202 @@
+"""The DFS facade: namespace, block placement, replication, versions."""
+
+import zlib
+
+from repro.common.errors import DfsError
+from repro.data.codec import encoded_size
+from repro.dfs.blocks import Block
+from repro.dfs.datanode import DataNode
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+DEFAULT_REPLICATION = 3
+DEFAULT_NUM_DATANODES = 14
+
+
+class FileStatus:
+    """Namenode metadata for one file."""
+
+    __slots__ = ("path", "size_bytes", "num_lines", "version", "created_tick", "modified_tick")
+
+    def __init__(self, path, size_bytes, num_lines, version, created_tick, modified_tick):
+        self.path = path
+        self.size_bytes = size_bytes
+        self.num_lines = num_lines
+        self.version = version
+        self.created_tick = created_tick
+        self.modified_tick = modified_tick
+
+    def __repr__(self):
+        return (
+            f"FileStatus(path={self.path!r}, bytes={self.size_bytes}, "
+            f"lines={self.num_lines}, version={self.version})"
+        )
+
+
+class _FileEntry:
+    __slots__ = ("status", "lines", "blocks")
+
+    def __init__(self, status, lines, blocks):
+        self.status = status
+        self.lines = lines
+        self.blocks = blocks
+
+
+class DistributedFileSystem:
+    """Simulated HDFS instance.
+
+    ``clock`` (a :class:`repro.common.LogicalClock`) stamps creation and
+    modification ticks; without one, ticks stay at zero and only versions
+    distinguish rewrites.
+    """
+
+    def __init__(
+        self,
+        block_size=DEFAULT_BLOCK_SIZE,
+        replication=DEFAULT_REPLICATION,
+        num_datanodes=DEFAULT_NUM_DATANODES,
+        clock=None,
+    ):
+        if block_size < 1:
+            raise DfsError(f"block size must be positive, got {block_size}")
+        if not 1 <= replication <= num_datanodes:
+            raise DfsError(
+                f"replication {replication} must be between 1 and #datanodes {num_datanodes}"
+            )
+        self.block_size = block_size
+        self.replication = replication
+        self.datanodes = [DataNode(node_id) for node_id in range(num_datanodes)]
+        self._files = {}
+        self._clock = clock
+        self._next_block_id = 0
+
+    # Namespace operations -------------------------------------------------
+
+    def exists(self, path):
+        return path in self._files
+
+    def status(self, path):
+        return self._entry(path).status
+
+    def list_files(self, prefix=""):
+        """Paths under ``prefix`` in sorted order."""
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def delete(self, path):
+        entry = self._files.pop(path, None)
+        if entry is None:
+            raise DfsError(f"cannot delete {path!r}: no such file")
+        for block in entry.blocks:
+            for node_id in block.replicas:
+                self.datanodes[node_id].remove_block(block.block_id)
+
+    def delete_if_exists(self, path):
+        if path in self._files:
+            self.delete(path)
+
+    # Read/write ------------------------------------------------------------
+
+    def write_lines(self, path, lines, overwrite=False):
+        """Create (or overwrite) ``path`` with ``lines``; returns FileStatus.
+
+        Versions are *content-stable*: overwriting a file with different
+        content bumps the version and modification tick (what eviction
+        Rule 4 observes); rewriting identical content leaves both alone —
+        the dataset was not modified.
+        """
+        if not path or not path.startswith("/"):
+            raise DfsError(f"paths must be absolute, got {path!r}")
+        lines = list(lines)
+        previous = self._files.get(path)
+        if previous is not None and not overwrite:
+            raise DfsError(f"{path!r} already exists (pass overwrite=True to replace)")
+        if previous is not None and previous.lines == lines:
+            return previous.status
+        if previous is not None:
+            self.delete(path)
+            version = previous.status.version + 1
+            created = previous.status.created_tick
+        else:
+            version = 1
+            created = self._now()
+        blocks = self._place_blocks(path, lines)
+        size_bytes = sum(block.num_bytes for block in blocks)
+        status = FileStatus(path, size_bytes, len(lines), version, created, self._now())
+        self._files[path] = _FileEntry(status, lines, blocks)
+        return status
+
+    def read_lines(self, path):
+        """All lines of ``path`` (the whole-file read used by Load)."""
+        return list(self._entry(path).lines)
+
+    def read_block_lines(self, path, block_index):
+        """Lines of one block — what a single map task sees."""
+        entry = self._entry(path)
+        try:
+            block = entry.blocks[block_index]
+        except IndexError as exc:
+            raise DfsError(
+                f"{path!r} has {len(entry.blocks)} blocks, no index {block_index}"
+            ) from exc
+        return entry.lines[block.start_line : block.end_line]
+
+    def blocks_of(self, path):
+        return list(self._entry(path).blocks)
+
+    # Accounting ------------------------------------------------------------
+
+    def file_size(self, path):
+        """Logical size in bytes (before replication)."""
+        return self._entry(path).status.size_bytes
+
+    def replicated_size(self, path):
+        """Physical bytes across all replicas."""
+        return self.file_size(path) * self.replication
+
+    def total_used_bytes(self):
+        """Physical bytes used across all datanodes (replication included)."""
+        return sum(node.used_bytes for node in self.datanodes)
+
+    # Internals ---------------------------------------------------------------
+
+    def _entry(self, path):
+        try:
+            return self._files[path]
+        except KeyError as exc:
+            raise DfsError(f"no such file: {path!r}") from exc
+
+    def _now(self):
+        return self._clock.now() if self._clock is not None else 0
+
+    def _place_blocks(self, path, lines):
+        """Chop ``lines`` into blocks and place replicas round-robin.
+
+        Placement starts at a path-derived offset so different files spread
+        across different datanodes, like HDFS's randomized placement but
+        deterministic.
+        """
+        blocks = []
+        start = 0
+        current_bytes = 0
+        base = zlib.crc32(path.encode("utf-8")) % len(self.datanodes)
+        line_sizes = [encoded_size(line) for line in lines]
+        for position, line_size in enumerate(line_sizes):
+            current_bytes += line_size
+            if current_bytes >= self.block_size:
+                blocks.append(self._make_block(path, len(blocks), start, position + 1,
+                                               current_bytes, base))
+                start = position + 1
+                current_bytes = 0
+        if current_bytes > 0 or not blocks:
+            blocks.append(self._make_block(path, len(blocks), start, len(lines),
+                                           current_bytes, base))
+        return blocks
+
+    def _make_block(self, path, index, start_line, end_line, num_bytes, base):
+        replicas = [
+            (base + index + offset) % len(self.datanodes) for offset in range(self.replication)
+        ]
+        block = Block(self._next_block_id, path, index, start_line, end_line, num_bytes, replicas)
+        self._next_block_id += 1
+        for node_id in replicas:
+            self.datanodes[node_id].add_block(block)
+        return block

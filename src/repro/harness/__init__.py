@@ -1,0 +1,42 @@
+"""Experiment harness: one runner per table/figure of the paper's Section 7.
+
+Each ``fig*``/``table*`` function executes the corresponding experiment on
+the simulated cluster and returns an :class:`ExperimentResult` whose rows
+mirror the series the paper plots, alongside the paper's own numbers for
+shape comparison. The expensive sweeps are memoized per (profile,
+instance), so benchmark files that share measurements don't recompute them.
+"""
+
+from repro.harness.experiments import (
+    fig9_whole_jobs,
+    fig10_sub_jobs,
+    fig11_overhead,
+    fig12_speedup,
+    fig13_heuristic_reuse,
+    fig14_heuristic_overhead,
+    fig15_jobs_vs_subjobs,
+    fig16_projection,
+    fig17_filter,
+    table1_storage,
+    table2_synth_data,
+)
+from repro.harness.reporting import ExperimentResult
+from repro.harness.scenario import PigMixScenario, PROFILES, SynthScenario
+
+__all__ = [
+    "ExperimentResult",
+    "fig9_whole_jobs",
+    "fig10_sub_jobs",
+    "fig11_overhead",
+    "fig12_speedup",
+    "fig13_heuristic_reuse",
+    "fig14_heuristic_overhead",
+    "fig15_jobs_vs_subjobs",
+    "fig16_projection",
+    "fig17_filter",
+    "PigMixScenario",
+    "PROFILES",
+    "SynthScenario",
+    "table1_storage",
+    "table2_synth_data",
+]

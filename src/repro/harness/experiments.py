@@ -1,0 +1,547 @@
+"""Experiment runners for every table and figure in the paper's Section 7.
+
+Measurement protocol (mirrors the paper's):
+
+* **no reuse** — plain execution (temps deleted afterwards);
+* **generating** — ReStore executes the query while materializing sub-jobs
+  per a heuristic (rewriting disabled); its extra time over the plain run
+  is the Store-injection overhead;
+* **reusing** — the query is re-submitted against the repository populated
+  by the generating run (no new materialization, no registration), so the
+  measured time is pure reuse benefit.
+
+Whole-job experiments (Figures 9/15) populate the repository with
+intermediate job outputs only (the paper's Section 7.1 setting: final user
+outputs are not reused, so the terminal job re-executes).
+
+Every run asserts the correctness invariant: reuse must not change query
+results.
+"""
+
+from repro.common.units import GB
+from repro.harness.reporting import arithmetic_mean, ExperimentResult
+from repro.harness.scenario import PigMixScenario, SynthScenario
+from repro.pigmix.queries import ALL_QUERIES
+from repro.restore import (
+    AggressiveHeuristic,
+    ConservativeHeuristic,
+    NoHeuristic,
+    Repository,
+)
+from repro.synth import FIELD_SPECS, qf, QF_FIELDS, qp, QP_MAX_FIELDS
+
+HEURISTICS = {
+    "HC": ConservativeHeuristic,
+    "HA": AggressiveHeuristic,
+    "NH": NoHeuristic,
+}
+
+_CACHE = {}
+
+
+def _cached(key, compute):
+    if key not in _CACHE:
+        _CACHE[key] = compute()
+    return _CACHE[key]
+
+
+def clear_cache():
+    """Drop memoized sweeps (tests use this between profiles)."""
+    _CACHE.clear()
+
+
+# --- Shared sweep machinery ---------------------------------------------------
+
+
+def _final_outputs(scenario, workflow):
+    """Snapshot the user-facing outputs of a workflow (correctness checks)."""
+    snapshot = {}
+    for path in workflow.final_output_paths():
+        if scenario.system.dfs.exists(path):
+            snapshot[path] = scenario.system.dfs.read_lines(path)
+    return snapshot
+
+
+def _run_measured(scenario, restore, query_name, expected_outputs=None):
+    """Submit one workflow through ``restore``; verify output correctness."""
+    workflow = scenario.compile(query_name)
+    result = restore.submit(workflow)
+    outputs = _final_outputs(scenario, workflow)
+    if expected_outputs is not None and outputs != expected_outputs:
+        raise AssertionError(
+            f"reuse changed the results of {query_name}: correctness "
+            "invariant violated"
+        )
+    return result, outputs
+
+
+def _sum_stat(result, attribute):
+    return sum(
+        getattr(job_result.stats, attribute)
+        for job_result in result.job_results.values()
+    )
+
+
+def _pigmix_subjob_sweep(instance, profile):
+    """For each query: plain time, and per heuristic the generate/reuse
+    times plus injected-store bytes. The backbone of Figures 10-14 and
+    Table 1."""
+
+    def compute():
+        scenario = PigMixScenario(instance, profile)
+        measurements = {}
+        for query_name in ALL_QUERIES:
+            plain = scenario.run_plain(query_name)
+            record = {
+                "plain_time": plain.total_time,
+                "input_bytes": _sum_stat(plain, "map_input_bytes") * scenario.scale,
+                "final_bytes": _sum_stat(plain, "final_output_bytes") * scenario.scale,
+                "heuristics": {},
+            }
+            for name, heuristic_cls in HEURISTICS.items():
+                repository = Repository()
+                generator = scenario.restore(
+                    heuristic=heuristic_cls(),
+                    enable_rewrite=False,
+                    register_final_outputs=False,
+                    repository=repository,
+                )
+                gen_result, gen_outputs = _run_measured(scenario, generator,
+                                                        query_name)
+                reuser = scenario.restore(
+                    heuristic=None,
+                    enable_registration=False,
+                    repository=repository,
+                )
+                reuse_result, _ = _run_measured(scenario, reuser, query_name,
+                                                expected_outputs=gen_outputs)
+                record["heuristics"][name] = {
+                    "generate_time": gen_result.total_time,
+                    "reuse_time": reuse_result.total_time,
+                    "stored_bytes": _sum_stat(gen_result, "injected_store_bytes")
+                    * scenario.scale,
+                    "rewrites": reuser.last_report.num_rewrites,
+                }
+            measurements[query_name] = record
+        return measurements
+
+    return _cached(("subjob", instance, profile), compute)
+
+
+def _pigmix_variant_sweep(profile):
+    """L3/L11 families under four modes: no reuse, whole-job reuse, and
+    sub-job reuse with HC and HA. The backbone of Figures 9 and 15."""
+
+    def compute():
+        measurements = {}
+        for family in ("L3", "L11"):
+            scenario = PigMixScenario("150GB", profile)
+            queries = scenario.variant_family(family)
+            family_rows = {
+                query_name: {"plain_time": scenario.run_plain(query_name).total_time}
+                for query_name in queries
+            }
+            # "whole" stores intermediate job outputs only; the HC/HA modes
+            # store *pure* sub-jobs (no whole-job outputs) — that is
+            # Section 7.4's comparison, where reusing HA sub-jobs costs a
+            # little extra work relative to reusing whole jobs.
+            modes = {
+                "whole": dict(heuristic=None),
+                "HC": dict(heuristic=ConservativeHeuristic(),
+                           register_whole_jobs=False),
+                "HA": dict(heuristic=AggressiveHeuristic(),
+                           register_whole_jobs=False),
+            }
+            for mode, restore_kwargs in modes.items():
+                repository = Repository()
+                populate = scenario.restore(
+                    enable_rewrite=False,
+                    register_final_outputs=False,
+                    repository=repository,
+                    **restore_kwargs,
+                )
+                expected = {}
+                for query_name in queries:
+                    _, expected[query_name] = _run_measured(scenario, populate,
+                                                            query_name)
+                reuser = scenario.restore(
+                    heuristic=None,
+                    enable_registration=False,
+                    repository=repository,
+                )
+                for query_name in queries:
+                    result, _ = _run_measured(
+                        scenario, reuser, query_name,
+                        expected_outputs=expected[query_name],
+                    )
+                    family_rows[query_name][f"{mode}_time"] = result.total_time
+            measurements.update(family_rows)
+        return measurements
+
+    return _cached(("variants", profile), compute)
+
+
+def _synth_sweep(profile):
+    """QP (1..5 fields) and QF (field6..12): plain/generate/reuse triples.
+    The backbone of Figures 16 and 17."""
+
+    def compute():
+        scenario = SynthScenario(profile)
+        runs = {}
+
+        def measure(tag, query_text):
+            plain = scenario.run_plain(query_text, f"{tag}-plain")
+            repository = Repository()
+            generator = scenario.restore(
+                heuristic=ConservativeHeuristic(),
+                enable_rewrite=False,
+                register_final_outputs=False,
+                repository=repository,
+            )
+            workflow = scenario.system.compile(query_text, f"{tag}-gen")
+            gen_result = generator.submit(workflow)
+            expected = {
+                path: scenario.system.dfs.read_lines(path)
+                for path in workflow.final_output_paths()
+            }
+            reuser = scenario.restore(heuristic=None, enable_registration=False,
+                                      repository=repository)
+            reuse_workflow = scenario.system.compile(query_text, f"{tag}-reuse")
+            reuse_result = reuser.submit(reuse_workflow)
+            got = {
+                path: scenario.system.dfs.read_lines(path)
+                for path in reuse_workflow.final_output_paths()
+            }
+            if got != expected:
+                raise AssertionError(f"reuse changed results of {tag}")
+            stored = _sum_stat(gen_result, "injected_store_bytes")
+            input_bytes = _sum_stat(gen_result, "map_input_bytes")
+            runs[tag] = {
+                "plain_time": plain.total_time,
+                "generate_time": gen_result.total_time,
+                "reuse_time": reuse_result.total_time,
+                "stored_fraction": stored / max(1, input_bytes),
+                "rewrites": reuser.last_report.num_rewrites,
+            }
+
+        for num_fields in range(1, QP_MAX_FIELDS + 1):
+            out = f"/out/qp{num_fields}"
+            measure(f"qp{num_fields}", qp(num_fields, out_path=out))
+        for field in QF_FIELDS:
+            out = f"/out/qf_{field}"
+            measure(f"qf_{field}", qf(field, out_path=out))
+        return runs
+
+    return _cached(("synth", profile), compute)
+
+
+# --- Figure 9 -------------------------------------------------------------------
+
+
+def fig9_whole_jobs(profile="default"):
+    """Figure 9: the effect of reusing whole job outputs (150 GB)."""
+    sweep = _pigmix_variant_sweep(profile)
+    rows = []
+    for query_name in ("L3", "L3a", "L3b", "L3c", "L11", "L11a", "L11b",
+                       "L11c", "L11d"):
+        record = sweep[query_name]
+        speedup = record["plain_time"] / max(1e-9, record["whole_time"])
+        rows.append(
+            {
+                "query": query_name,
+                "no_reuse_min": record["plain_time"] / 60,
+                "reusing_jobs_min": record["whole_time"] / 60,
+                "speedup": speedup,
+            }
+        )
+    rows.append(
+        {
+            "query": "average",
+            "no_reuse_min": arithmetic_mean([r["no_reuse_min"] for r in rows]),
+            "reusing_jobs_min": arithmetic_mean(
+                [r["reusing_jobs_min"] for r in rows]
+            ),
+            "speedup": arithmetic_mean([r["speedup"] for r in rows]),
+        }
+    )
+    return ExperimentResult(
+        "fig9",
+        "Effect of reusing whole job outputs (150GB instance)",
+        ["query", "no_reuse_min", "reusing_jobs_min", "speedup"],
+        rows,
+        paper={"average speedup": 9.8, "overhead": "0% (no stores injected)"},
+        notes=["repository populated with intermediate whole-job outputs of "
+               "prior executions of each query (Section 7.1 protocol)"],
+    )
+
+
+# --- Figures 10-12 -----------------------------------------------------------------
+
+
+def fig10_sub_jobs(profile="default"):
+    """Figure 10: the effect of reusing sub-job outputs (HA, 150 GB)."""
+    sweep = _pigmix_subjob_sweep("150GB", profile)
+    rows = []
+    for query_name, record in sweep.items():
+        ha = record["heuristics"]["HA"]
+        rows.append(
+            {
+                "query": query_name,
+                "no_reuse_min": record["plain_time"] / 60,
+                "generating_min": ha["generate_time"] / 60,
+                "reusing_min": ha["reuse_time"] / 60,
+                "overhead": ha["generate_time"] / record["plain_time"],
+                "speedup": record["plain_time"] / max(1e-9, ha["reuse_time"]),
+            }
+        )
+    rows.append(
+        {
+            "query": "average",
+            "no_reuse_min": arithmetic_mean([r["no_reuse_min"] for r in rows]),
+            "generating_min": arithmetic_mean([r["generating_min"] for r in rows]),
+            "reusing_min": arithmetic_mean([r["reusing_min"] for r in rows]),
+            "overhead": arithmetic_mean([r["overhead"] for r in rows]),
+            "speedup": arithmetic_mean([r["speedup"] for r in rows]),
+        }
+    )
+    return ExperimentResult(
+        "fig10",
+        "Effect of reusing sub-job outputs, Aggressive Heuristic (150GB)",
+        ["query", "no_reuse_min", "generating_min", "reusing_min", "overhead",
+         "speedup"],
+        rows,
+        paper={"average speedup": 24.4, "average overhead": 1.6},
+    )
+
+
+def _overhead_speedup_rows(profile, metric):
+    rows = []
+    for query_name in ALL_QUERIES:
+        row = {"query": query_name}
+        for instance in ("15GB", "150GB"):
+            record = _pigmix_subjob_sweep(instance, profile)[query_name]
+            ha = record["heuristics"]["HA"]
+            if metric == "overhead":
+                row[instance] = ha["generate_time"] / record["plain_time"]
+            else:
+                row[instance] = record["plain_time"] / max(1e-9, ha["reuse_time"])
+        rows.append(row)
+    rows.append(
+        {
+            "query": "average",
+            "15GB": arithmetic_mean([row["15GB"] for row in rows]),
+            "150GB": arithmetic_mean([row["150GB"] for row in rows]),
+        }
+    )
+    return rows
+
+
+def fig11_overhead(profile="default"):
+    """Figure 11: Store-injection overhead at 15 GB vs 150 GB."""
+    return ExperimentResult(
+        "fig11",
+        "Overhead of injected Store operators (HA), both data sizes",
+        ["query", "15GB", "150GB"],
+        _overhead_speedup_rows(profile, "overhead"),
+        paper={"average overhead 15GB": 2.4, "average overhead 150GB": 1.6,
+               "shape": "overhead higher at the smaller scale"},
+    )
+
+
+def fig12_speedup(profile="default"):
+    """Figure 12: sub-job reuse speedup at 15 GB vs 150 GB."""
+    return ExperimentResult(
+        "fig12",
+        "Speedup from reusing sub-job outputs (HA), both data sizes",
+        ["query", "15GB", "150GB"],
+        _overhead_speedup_rows(profile, "speedup"),
+        paper={"average speedup 15GB": 3.0, "average speedup 150GB": 24.4,
+               "shape": "speedup higher at the larger scale"},
+    )
+
+
+# --- Figures 13-14 + Table 1 ----------------------------------------------------------
+
+
+def fig13_heuristic_reuse(profile="default"):
+    """Figure 13: execution time when reusing sub-jobs from NH/HC/HA."""
+    sweep = _pigmix_subjob_sweep("150GB", profile)
+    rows = []
+    for query_name, record in sweep.items():
+        rows.append(
+            {
+                "query": query_name,
+                "no_reuse_min": record["plain_time"] / 60,
+                "HC_min": record["heuristics"]["HC"]["reuse_time"] / 60,
+                "HA_min": record["heuristics"]["HA"]["reuse_time"] / 60,
+                "NH_min": record["heuristics"]["NH"]["reuse_time"] / 60,
+            }
+        )
+    return ExperimentResult(
+        "fig13",
+        "Execution time reusing sub-jobs chosen by different heuristics (150GB)",
+        ["query", "no_reuse_min", "HC_min", "HA_min", "NH_min"],
+        rows,
+        paper={"shape": "HA matches NH; HC gives less benefit; all beat no-reuse"},
+    )
+
+
+def fig14_heuristic_overhead(profile="default"):
+    """Figure 14: execution time WITH the injected Store operators."""
+    sweep = _pigmix_subjob_sweep("150GB", profile)
+    rows = []
+    for query_name, record in sweep.items():
+        rows.append(
+            {
+                "query": query_name,
+                "no_reuse_min": record["plain_time"] / 60,
+                "HC_min": record["heuristics"]["HC"]["generate_time"] / 60,
+                "HA_min": record["heuristics"]["HA"]["generate_time"] / 60,
+                "NH_min": record["heuristics"]["NH"]["generate_time"] / 60,
+            }
+        )
+    return ExperimentResult(
+        "fig14",
+        "Execution time with Store operators injected by each heuristic (150GB)",
+        ["query", "no_reuse_min", "HC_min", "HA_min", "NH_min"],
+        rows,
+        paper={"shape": "NH worst; HA usually close to HC (L6 the exception)"},
+    )
+
+
+def table1_storage(profile="default"):
+    """Table 1: input bytes, injected-store bytes per heuristic, output."""
+    sweep = _pigmix_subjob_sweep("150GB", profile)
+    rows = []
+    for query_name, record in sweep.items():
+        rows.append(
+            {
+                "query": query_name,
+                "input_GB": record["input_bytes"] / GB,
+                "HC_GB": record["heuristics"]["HC"]["stored_bytes"] / GB,
+                "HA_GB": record["heuristics"]["HA"]["stored_bytes"] / GB,
+                "NH_GB": record["heuristics"]["NH"]["stored_bytes"] / GB,
+                "output_MB": record["final_bytes"] / (1024 * 1024),
+            }
+        )
+    return ExperimentResult(
+        "table1",
+        "Input data, injected-Store output per heuristic, final output (150GB)",
+        ["query", "input_GB", "HC_GB", "HA_GB", "NH_GB", "output_MB"],
+        rows,
+        paper={"shape": "HC <= HA << NH for every query; HA==HC for L2/L8; "
+               "HA far above HC for the wide-group L6"},
+        notes=["bytes reported at paper scale via the calibrated cost-model "
+               "scale factor"],
+    )
+
+
+# --- Figure 15 ----------------------------------------------------------------------
+
+
+def fig15_jobs_vs_subjobs(profile="default"):
+    """Figure 15: whole jobs vs HC/HA sub-jobs on the L3/L11 variants."""
+    sweep = _pigmix_variant_sweep(profile)
+    rows = []
+    for query_name in ("L3", "L3a", "L3b", "L3c", "L11", "L11a", "L11b",
+                       "L11c", "L11d"):
+        record = sweep[query_name]
+        rows.append(
+            {
+                "query": query_name,
+                "no_reuse_min": record["plain_time"] / 60,
+                "HC_min": record["HC_time"] / 60,
+                "HA_min": record["HA_time"] / 60,
+                "whole_jobs_min": record["whole_time"] / 60,
+            }
+        )
+    return ExperimentResult(
+        "fig15",
+        "Reusing whole jobs and sub-jobs (150GB)",
+        ["query", "no_reuse_min", "HC_min", "HA_min", "whole_jobs_min"],
+        rows,
+        paper={"shape": "all reuse types beneficial; whole jobs and HA "
+               "sub-jobs are best and nearly equal"},
+    )
+
+
+# --- Table 2 + Figures 16-17 ------------------------------------------------------------
+
+
+def table2_synth_data(profile="default"):
+    """Table 2: measured cardinalities/selectivities of the generator."""
+    scenario = SynthScenario(profile)
+    rows_data = scenario.data.rows()
+    from repro.synth import SYNTH_SCHEMA
+
+    rows = []
+    for name, cardinality, fraction in FIELD_SPECS:
+        position = SYNTH_SCHEMA.position_of(name)
+        values = [row[position] for row in rows_data]
+        measured_fraction = sum(1 for value in values if value == 0) / len(values)
+        rows.append(
+            {
+                "field": name,
+                "cardinality_spec": cardinality,
+                "cardinality_measured": len(set(values)),
+                "selected_spec_pct": fraction * 100,
+                "selected_measured_pct": measured_fraction * 100,
+            }
+        )
+    return ExperimentResult(
+        "table2",
+        "Synthetic data set fields (generator vs Table 2 spec)",
+        ["field", "cardinality_spec", "cardinality_measured",
+         "selected_spec_pct", "selected_measured_pct"],
+        rows,
+        paper={"spec": "cardinalities 200/100/20/10/5/2/1.6 selecting "
+               "0.5/1/5/10/20/50/60 % of rows"},
+    )
+
+
+def fig16_projection(profile="default"):
+    """Figure 16: overhead & speedup vs percentage of projected data (QP)."""
+    sweep = _synth_sweep(profile)
+    rows = []
+    for num_fields in range(1, QP_MAX_FIELDS + 1):
+        record = sweep[f"qp{num_fields}"]
+        rows.append(
+            {
+                "projected_fields": num_fields,
+                "projected_pct": record["stored_fraction"] * 100,
+                "overhead": record["generate_time"] / record["plain_time"],
+                "speedup": record["plain_time"] / max(1e-9, record["reuse_time"]),
+            }
+        )
+    return ExperimentResult(
+        "fig16",
+        "Overhead and speedup vs percentage of projected data (QP)",
+        ["projected_fields", "projected_pct", "overhead", "speedup"],
+        rows,
+        paper={"shape": "as projected % grows, overhead rises and speedup "
+               "falls; net benefit when projection halves the data"},
+    )
+
+
+def fig17_filter(profile="default"):
+    """Figure 17: overhead & speedup vs percentage of filtered data (QF)."""
+    sweep = _synth_sweep(profile)
+    rows = []
+    for name, cardinality, fraction in FIELD_SPECS:
+        record = sweep[f"qf_{name}"]
+        rows.append(
+            {
+                "field": name,
+                "selected_pct": fraction * 100,
+                "overhead": record["generate_time"] / record["plain_time"],
+                "speedup": record["plain_time"] / max(1e-9, record["reuse_time"]),
+            }
+        )
+    return ExperimentResult(
+        "fig17",
+        "Overhead and speedup vs percentage of filtered data (QF)",
+        ["field", "selected_pct", "overhead", "speedup"],
+        rows,
+        paper={"shape": "as the filter keeps more data, overhead rises and "
+               "speedup falls"},
+    )

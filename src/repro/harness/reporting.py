@@ -1,0 +1,76 @@
+"""Result containers and text-table rendering for the experiments."""
+
+
+class ExperimentResult:
+    """One reproduced table/figure: rows of measurements plus context.
+
+    ``rows`` is a list of dicts sharing ``headers`` as keys. ``paper``
+    holds the paper's claims for the same quantity (for shape checks);
+    ``notes`` records caveats (scaling, substitutions).
+    """
+
+    def __init__(self, exp_id, title, headers, rows, paper=None, notes=()):
+        self.exp_id = exp_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows = list(rows)
+        self.paper = paper or {}
+        self.notes = list(notes)
+
+    def column(self, header):
+        return [row[header] for row in self.rows]
+
+    def row_for(self, key_header, key_value):
+        for row in self.rows:
+            if row[key_header] == key_value:
+                return row
+        raise KeyError(f"no row with {key_header}={key_value!r}")
+
+    def format(self):
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.paper:
+            lines.append("paper: " + ", ".join(
+                f"{key}={value}" for key, value in self.paper.items()
+            ))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<ExperimentResult {self.exp_id}: {len(self.rows)} rows>"
+
+
+def format_value(value):
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def format_table(headers, rows):
+    """Plain aligned text table."""
+    table = [[format_value(row[header]) for header in headers] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(line[col]) for line in table)) if table
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def fmt_line(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt_line(headers), fmt_line(["-" * width for width in widths])]
+    lines.extend(fmt_line(line) for line in table)
+    return "\n".join(lines)
+
+
+def geometric_mean(values):
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values):
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,93 @@
+"""Benchmark scenarios: a cluster + installed dataset + calibrated scale.
+
+The paper's 15 GB / 150 GB PigMix instances (and the 40 GB synthetic data
+set) are realized as scaled-down datasets; the cost model's ``scale`` is
+set so that the installed page_views file *is* 15 GB / 150 GB in effective
+bytes. All reported simulated times are therefore at paper scale, while
+the engine runs the small data for real.
+"""
+
+from repro.api import PigSystem
+from repro.common.units import GB
+from repro.pigmix import PigMixConfig, PigMixData, PigMixPaths
+from repro.pigmix.queries import query_text, VARIANT_FAMILIES
+from repro.synth import SynthConfig, SynthData
+
+
+class Profile:
+    """Actual (executed) data sizing; effective sizes come from `scale`."""
+
+    def __init__(self, name, pigmix_small_rows, synth_rows):
+        self.name = name
+        self.pigmix_small_rows = pigmix_small_rows
+        self.synth_rows = synth_rows
+
+
+#: tiny — unit/integration tests; default — the benchmark suite.
+PROFILES = {
+    "tiny": Profile("tiny", pigmix_small_rows=600, synth_rows=2_000),
+    "default": Profile("default", pigmix_small_rows=3_000, synth_rows=20_000),
+}
+
+#: The paper's instance sizes (page_views bytes before replication).
+TARGET_BYTES = {"15GB": 15 * GB, "150GB": 150 * GB}
+SYNTH_TARGET_BYTES = 40 * GB
+
+
+class PigMixScenario:
+    """A fresh simulated cluster with one PigMix instance installed."""
+
+    def __init__(self, instance="150GB", profile="default", seed=42):
+        if instance not in TARGET_BYTES:
+            raise ValueError(f"instance must be one of {sorted(TARGET_BYTES)}")
+        self.instance = instance
+        self.profile = PROFILES[profile] if isinstance(profile, str) else profile
+        rows = self.profile.pigmix_small_rows
+        config = PigMixConfig(
+            num_page_views=rows,
+            num_users=max(20, rows // 20),
+            num_power_users=max(5, rows // 200),
+            seed=seed,
+        )
+        if instance == "150GB":
+            config = config.scaled(10)
+        base_system = PigSystem()
+        self.data = PigMixData(config)
+        self.data.install(base_system.dfs)
+        actual = base_system.dfs.file_size("/data/page_views")
+        self.scale = TARGET_BYTES[instance] / actual
+        self.system = base_system.with_scale(self.scale)
+        self.paths = PigMixPaths()
+
+    def compile(self, query_name):
+        return self.system.compile(query_text(query_name, self.paths), query_name)
+
+    def run_plain(self, query_name):
+        """Execute with no reuse at all (the paper's baseline)."""
+        return self.system.run(query_text(query_name, self.paths), query_name)
+
+    def restore(self, **kwargs):
+        return self.system.restore(**kwargs)
+
+    def variant_family(self, family):
+        return list(VARIANT_FAMILIES[family])
+
+
+class SynthScenario:
+    """The Section 7.5 synthetic dataset on a fresh cluster."""
+
+    def __init__(self, profile="default", seed=7):
+        self.profile = PROFILES[profile] if isinstance(profile, str) else profile
+        base_system = PigSystem()
+        self.data = SynthData(SynthConfig(num_rows=self.profile.synth_rows,
+                                          seed=seed))
+        self.data.install(base_system.dfs)
+        actual = base_system.dfs.file_size("/data/synth")
+        self.scale = SYNTH_TARGET_BYTES / actual
+        self.system = base_system.with_scale(self.scale)
+
+    def run_plain(self, query, name):
+        return self.system.run(query, name)
+
+    def restore(self, **kwargs):
+        return self.system.restore(**kwargs)

@@ -1,0 +1,13 @@
+"""Logical plans: the typed operator DAG built from a parsed query.
+
+The logical layer resolves aliases, compiles expressions enough to infer
+schemas, and validates the query. The physical layer
+(:mod:`repro.physical`) then translates it 1:1 into executable operators;
+the MR compiler (:mod:`repro.mrcompiler`) splits those into MapReduce jobs
+— mirroring Pig's pipeline (paper Section 6.1).
+"""
+
+from repro.logical.builder import build_logical_plan
+from repro.logical.plan import LogicalPlan
+
+__all__ = ["build_logical_plan", "LogicalPlan"]

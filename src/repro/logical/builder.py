@@ -1,0 +1,120 @@
+"""Translate a parsed query (AST) into a :class:`LogicalPlan`.
+
+Mirrors Pig's front end: resolves aliases in statement order, validates
+references, and produces a DAG rooted at the STORE statements.
+"""
+
+from repro.common.errors import PlanError
+from repro.piglatin import ast
+from repro.piglatin.expressions import schema_from_load_fields
+from repro.logical import operators as lo
+from repro.logical.plan import LogicalPlan
+
+
+def build_logical_plan(query, catalog=None):
+    """Build a logical plan for ``query``.
+
+    ``catalog`` optionally maps dataset paths to schemas, used when a LOAD
+    has no AS clause (like Pig reading from HCatalog).
+    """
+    builder = _Builder(catalog or {})
+    return builder.build(query)
+
+
+class _Builder:
+    def __init__(self, catalog):
+        self._catalog = catalog
+        self._env = {}
+        self._sinks = []
+
+    def build(self, query):
+        for statement in query.statements:
+            self._statement(statement)
+        if not self._sinks:
+            raise PlanError("query has no STORE statement; nothing to execute")
+        return LogicalPlan(self._sinks)
+
+    def _lookup(self, alias):
+        try:
+            return self._env[alias]
+        except KeyError as exc:
+            raise PlanError(f"unknown alias {alias!r}") from exc
+
+    def _define(self, alias, op):
+        # Pig allows alias redefinition; the newest definition wins.
+        self._env[alias] = op
+
+    def _statement(self, statement):
+        if isinstance(statement, ast.LoadStmt):
+            self._load(statement)
+        elif isinstance(statement, ast.ForEachStmt):
+            op = lo.LOForEach(self._lookup(statement.input_alias), statement.items,
+                              alias=statement.alias, inner=statement.inner)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.FilterStmt):
+            op = lo.LOFilter(self._lookup(statement.input_alias), statement.condition,
+                             alias=statement.alias)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.JoinStmt):
+            (left_name, left_keys), (right_name, right_keys) = statement.inputs
+            op = lo.LOJoin(
+                self._lookup(left_name),
+                self._lookup(right_name),
+                left_keys,
+                right_keys,
+                alias=statement.alias,
+                parallel=statement.parallel,
+            )
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.GroupStmt):
+            op = lo.LOGroup(self._lookup(statement.input_alias), statement.keys,
+                            alias=statement.alias, parallel=statement.parallel)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.CoGroupStmt):
+            inputs = [self._lookup(name) for name, _ in statement.inputs]
+            key_lists = [keys for _, keys in statement.inputs]
+            op = lo.LOCoGroup(inputs, key_lists, alias=statement.alias,
+                              parallel=statement.parallel)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.DistinctStmt):
+            op = lo.LODistinct(self._lookup(statement.input_alias),
+                               alias=statement.alias, parallel=statement.parallel)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.UnionStmt):
+            inputs = [self._lookup(name) for name in statement.input_aliases]
+            op = lo.LOUnion(inputs, alias=statement.alias)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.OrderStmt):
+            op = lo.LOSort(self._lookup(statement.input_alias), statement.keys,
+                           alias=statement.alias, parallel=statement.parallel)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.LimitStmt):
+            op = lo.LOLimit(self._lookup(statement.input_alias), statement.count,
+                            alias=statement.alias)
+            self._define(statement.alias, op)
+        elif isinstance(statement, ast.SplitStmt):
+            # Desugar: each branch is a FILTER over the split input (rows
+            # satisfying several conditions go to several branches, as in
+            # Pig). The physical Split operator proper is used by ReStore's
+            # sub-job materialization.
+            source = self._lookup(statement.input_alias)
+            for branch_alias, condition in statement.branches:
+                self._define(branch_alias,
+                             lo.LOFilter(source, condition, alias=branch_alias))
+        elif isinstance(statement, ast.StoreStmt):
+            self._sinks.append(lo.LOStore(self._lookup(statement.alias), statement.path,
+                                          alias=statement.alias))
+        else:
+            raise PlanError(f"unsupported statement {statement!r}")
+
+    def _load(self, statement):
+        if statement.fields:
+            schema = schema_from_load_fields(statement.fields)
+        elif statement.path in self._catalog:
+            schema = self._catalog[statement.path]
+        else:
+            raise PlanError(
+                f"LOAD {statement.path!r} needs an AS clause or a catalog entry"
+            )
+        self._define(statement.alias, lo.LOLoad(statement.path, schema,
+                                                alias=statement.alias))

@@ -1,0 +1,262 @@
+"""Logical operators: schema-aware nodes that still carry AST expressions."""
+
+import itertools
+
+from repro.common.errors import PlanError
+from repro.data.schema import Field, Schema
+from repro.data.types import DataType
+from repro.piglatin import ast
+from repro.piglatin.expressions import BOOLEAN, compile_expression, compile_predicate
+
+_ids = itertools.count(1)
+
+GROUP_FIELD = "group"
+
+
+class LogicalOp:
+    """Base logical operator: ``inputs`` are upstream LogicalOps."""
+
+    kind = "abstract"
+
+    def __init__(self, inputs, alias=None):
+        self.op_id = next(_ids)
+        self.inputs = list(inputs)
+        self.alias = alias
+        self.schema = None  # set by _infer_schema in subclasses
+
+    @property
+    def input_schemas(self):
+        return [op.schema for op in self.inputs]
+
+    def describe(self):
+        return f"{self.kind}({self.alias or ''})"
+
+    def __repr__(self):
+        return f"<{type(self).__name__} #{self.op_id} {self.alias or ''}>"
+
+
+class LOLoad(LogicalOp):
+    kind = "load"
+
+    def __init__(self, path, schema, alias=None):
+        super().__init__([], alias)
+        self.path = path
+        self.schema = schema
+
+
+class LOForEach(LogicalOp):
+    """FOREACH ... GENERATE, optionally with a nested inner block."""
+
+    kind = "foreach"
+
+    def __init__(self, input_op, items, alias=None, inner=()):
+        super().__init__([input_op], alias)
+        self.items = tuple(items)
+        self.inner = tuple(inner)
+        self.schema = self._infer_schema()
+
+    def _infer_schema(self):
+        from repro.piglatin.nested import compile_inner_pipeline
+
+        input_schema = self.inputs[0].schema
+        if self.inner:
+            input_schema, _ = compile_inner_pipeline(input_schema, self.inner)
+        fields = []
+        used_names = set()
+        for index, item in enumerate(self.items):
+            if item.flatten:
+                fields.extend(self._flatten_fields(item, input_schema))
+                used_names.update(field.name for field in fields)
+                continue
+            compiled = compile_expression(item.expr, input_schema)
+            if compiled.dtype is DataType.BAG or compiled.is_bag_projection:
+                raise PlanError(
+                    f"GENERATE item {index} produces a bag; wrap it in an "
+                    "aggregate or FLATTEN"
+                )
+            if compiled.dtype is BOOLEAN:
+                raise PlanError(f"GENERATE item {index} is a bare boolean predicate")
+            name = item.alias or compiled.name_hint or f"f{index}"
+            if name in used_names:
+                name = f"{name}_{index}"
+            used_names.add(name)
+            fields.append(Field(name, compiled.dtype))
+        return Schema(fields)
+
+    def _flatten_fields(self, item, input_schema):
+        if not isinstance(item.expr, ast.FieldRef) or item.expr.name != GROUP_FIELD:
+            raise PlanError("only FLATTEN(group) is supported in this dialect")
+        group_fields = [
+            field
+            for field in input_schema.fields
+            if field.name == GROUP_FIELD or field.name.startswith(GROUP_FIELD + "::")
+        ]
+        if not group_fields:
+            raise PlanError("FLATTEN(group) requires a grouped input")
+        return [field.renamed(field.short_name) for field in group_fields]
+
+
+class LOFilter(LogicalOp):
+    kind = "filter"
+
+    def __init__(self, input_op, condition, alias=None):
+        super().__init__([input_op], alias)
+        self.condition = condition
+        compile_predicate(condition, input_op.schema)  # validate + type-check
+        self.schema = input_op.schema
+
+
+class LOJoin(LogicalOp):
+    kind = "join"
+
+    def __init__(self, left, right, left_keys, right_keys, alias=None, parallel=None):
+        super().__init__([left, right], alias)
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.parallel = parallel
+        if len(self.left_keys) != len(self.right_keys):
+            raise PlanError("JOIN key lists must have equal length")
+        left_compiled = [compile_expression(key, left.schema) for key in self.left_keys]
+        right_compiled = [compile_expression(key, right.schema) for key in self.right_keys]
+        for a, b in zip(left_compiled, right_compiled):
+            numeric = (DataType.INT, DataType.DOUBLE)
+            compatible = a.dtype == b.dtype or (a.dtype in numeric and b.dtype in numeric)
+            if not compatible:
+                raise PlanError(
+                    f"join key type mismatch: {a.canonical}:{a.dtype} vs "
+                    f"{b.canonical}:{b.dtype}"
+                )
+        self.schema = Schema.join(
+            left.schema, right.schema, left.alias or "L", right.alias or "R"
+        )
+
+
+class LOGroup(LogicalOp):
+    """GROUP BY (keys) or GROUP ALL (keys=None)."""
+
+    kind = "group"
+
+    def __init__(self, input_op, keys, alias=None, parallel=None):
+        super().__init__([input_op], alias)
+        self.keys = None if keys is None else tuple(keys)
+        self.parallel = parallel
+        self.schema = self._infer_schema()
+
+    @property
+    def is_group_all(self):
+        return self.keys is None
+
+    def _infer_schema(self):
+        input_op = self.inputs[0]
+        bag_field = Field(input_op.alias or "bag", DataType.BAG, input_op.schema)
+        if self.is_group_all:
+            return Schema([Field(GROUP_FIELD, DataType.CHARARRAY), bag_field])
+        compiled = [compile_expression(key, input_op.schema) for key in self.keys]
+        if len(compiled) == 1:
+            return Schema([Field(GROUP_FIELD, compiled[0].dtype), bag_field])
+        key_fields = []
+        for index, key in enumerate(compiled):
+            name = key.name_hint or f"k{index}"
+            key_fields.append(Field(f"{GROUP_FIELD}::{name}", key.dtype))
+        return Schema(key_fields + [bag_field])
+
+
+class LOCoGroup(LogicalOp):
+    """COGROUP input1 BY keys1, input2 BY keys2, ..."""
+
+    kind = "cogroup"
+
+    def __init__(self, input_ops, key_lists, alias=None, parallel=None):
+        super().__init__(list(input_ops), alias)
+        self.key_lists = tuple(tuple(keys) for keys in key_lists)
+        self.parallel = parallel
+        arity = {len(keys) for keys in self.key_lists}
+        if len(arity) != 1:
+            raise PlanError("COGROUP key lists must all have the same length")
+        self.schema = self._infer_schema()
+
+    def _infer_schema(self):
+        first_compiled = [
+            compile_expression(key, self.inputs[0].schema) for key in self.key_lists[0]
+        ]
+        if len(first_compiled) == 1:
+            key_fields = [Field(GROUP_FIELD, first_compiled[0].dtype)]
+        else:
+            key_fields = [
+                Field(f"{GROUP_FIELD}::{key.name_hint or f'k{index}'}", key.dtype)
+                for index, key in enumerate(first_compiled)
+            ]
+        bag_fields = []
+        seen = set()
+        for position, input_op in enumerate(self.inputs):
+            name = input_op.alias or f"in{position}"
+            if name in seen:
+                name = f"{name}_{position}"
+            seen.add(name)
+            bag_fields.append(Field(name, DataType.BAG, input_op.schema))
+        return Schema(key_fields + bag_fields)
+
+
+class LODistinct(LogicalOp):
+    kind = "distinct"
+
+    def __init__(self, input_op, alias=None, parallel=None):
+        super().__init__([input_op], alias)
+        self.parallel = parallel
+        self.schema = input_op.schema
+
+
+class LOUnion(LogicalOp):
+    kind = "union"
+
+    def __init__(self, input_ops, alias=None):
+        super().__init__(list(input_ops), alias)
+        first = self.inputs[0].schema
+        for other in self.inputs[1:]:
+            if len(other.schema) != len(first):
+                raise PlanError(
+                    f"UNION inputs must have the same arity: "
+                    f"{len(first)} vs {len(other.schema)}"
+                )
+            for a, b in zip(first.fields, other.schema.fields):
+                if a.dtype != b.dtype:
+                    raise PlanError(
+                        f"UNION field type mismatch: {a.canonical()} vs {b.canonical()}"
+                    )
+        self.schema = first
+
+
+class LOSort(LogicalOp):
+    """ORDER BY; ``keys`` are (expr_ast, direction) pairs."""
+
+    kind = "sort"
+
+    def __init__(self, input_op, keys, alias=None, parallel=None):
+        super().__init__([input_op], alias)
+        self.keys = tuple(keys)
+        self.parallel = parallel
+        for expr, direction in self.keys:
+            if direction not in ("asc", "desc"):
+                raise PlanError(f"bad sort direction {direction!r}")
+            compile_expression(expr, input_op.schema)
+        self.schema = input_op.schema
+
+
+class LOLimit(LogicalOp):
+    kind = "limit"
+
+    def __init__(self, input_op, count, alias=None):
+        super().__init__([input_op], alias)
+        if count < 0:
+            raise PlanError(f"LIMIT must be non-negative, got {count}")
+        self.count = count
+        self.schema = input_op.schema
+
+
+class LOStore(LogicalOp):
+    kind = "store"
+
+    def __init__(self, input_op, path, alias=None):
+        super().__init__([input_op], alias)
+        self.path = path
+        self.schema = input_op.schema

@@ -1,0 +1,43 @@
+"""The logical plan container: a DAG of LogicalOps with STORE sinks."""
+
+from repro.common.errors import PlanError
+
+
+class LogicalPlan:
+    """Holds the sinks (LOStore ops); the DAG is reachable from them."""
+
+    def __init__(self, sinks):
+        self.sinks = list(sinks)
+        if not self.sinks:
+            raise PlanError("a query must have at least one STORE")
+
+    def operators(self):
+        """All reachable operators in topological (inputs-first) order."""
+        ordered = []
+        seen = set()
+
+        def visit(op):
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            for parent in op.inputs:
+                visit(parent)
+            ordered.append(op)
+
+        for sink in self.sinks:
+            visit(sink)
+        return ordered
+
+    def sources(self):
+        return [op for op in self.operators() if not op.inputs]
+
+    def consumers_of(self, target):
+        """Operators that read ``target``'s output."""
+        return [op for op in self.operators() if target in op.inputs]
+
+    def describe(self):
+        lines = []
+        for op in self.operators():
+            inputs = ", ".join(f"#{parent.op_id}" for parent in op.inputs)
+            lines.append(f"#{op.op_id} {op.describe()} <- [{inputs}]")
+        return "\n".join(lines)

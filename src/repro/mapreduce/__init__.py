@@ -1,0 +1,30 @@
+"""The MapReduce execution engine and cluster/cost simulation.
+
+Jobs really execute: map pipelines, hash-partitioned sort/shuffle, reduce
+pipelines, DFS reads/writes. Simulated wall-clock time is produced by a
+deterministic cost model (:mod:`repro.mapreduce.costmodel`) that implements
+the paper's Equation 2 over the counters the engine collects, with cluster
+topology matching the paper's Section 7 (14 workers, 4 map + 2 reduce slots
+each). Workflow completion time implements Equation 1 (critical path).
+"""
+
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.costmodel import CostBreakdown, CostModel, CostModelConfig
+from repro.mapreduce.counters import JobStats
+from repro.mapreduce.job import MRJob
+from repro.mapreduce.runner import JobRunner, JobRunResult
+from repro.mapreduce.workflow import Workflow, WorkflowExecutor, WorkflowResult
+
+__all__ = [
+    "ClusterConfig",
+    "CostBreakdown",
+    "CostModel",
+    "CostModelConfig",
+    "JobRunner",
+    "JobRunResult",
+    "JobStats",
+    "MRJob",
+    "Workflow",
+    "WorkflowExecutor",
+    "WorkflowResult",
+]

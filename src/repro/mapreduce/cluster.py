@@ -1,0 +1,34 @@
+"""Cluster topology, matching the paper's experimental setup (Section 7):
+
+15 nodes; one runs the JobTracker/NameNode, the other 14 each run a
+TaskTracker and DataNode with 4 map slots and 2 reduce slots.
+"""
+
+from repro.common.errors import ExecutionError
+
+
+class ClusterConfig:
+    """Slot capacities used by both the scheduler and the cost model."""
+
+    def __init__(self, num_workers=14, map_slots_per_worker=4, reduce_slots_per_worker=2):
+        if num_workers < 1:
+            raise ExecutionError(f"need at least one worker, got {num_workers}")
+        if map_slots_per_worker < 1 or reduce_slots_per_worker < 1:
+            raise ExecutionError("slot counts must be positive")
+        self.num_workers = num_workers
+        self.map_slots_per_worker = map_slots_per_worker
+        self.reduce_slots_per_worker = reduce_slots_per_worker
+
+    @property
+    def map_capacity(self):
+        return self.num_workers * self.map_slots_per_worker
+
+    @property
+    def reduce_capacity(self):
+        return self.num_workers * self.reduce_slots_per_worker
+
+    def __repr__(self):
+        return (
+            f"ClusterConfig(workers={self.num_workers}, "
+            f"map_slots={self.map_capacity}, reduce_slots={self.reduce_capacity})"
+        )

@@ -1,0 +1,72 @@
+"""Per-job execution statistics — the counters Hadoop would report.
+
+These are the statistics ReStore stores in its repository for each job
+output ("the size of the input and output data, and the average execution
+time of the mappers and reducers", Section 5) and that the cost model turns
+into simulated times.
+"""
+
+
+class JobStats:
+    """Counters collected while executing one MapReduce job."""
+
+    def __init__(self, job_id):
+        self.job_id = job_id
+        # Input side
+        self.map_input_bytes = 0
+        self.map_input_records = 0
+        self.input_paths = []
+        # Shuffle
+        self.map_output_records = 0
+        self.map_output_bytes = 0
+        self.num_reducers = 0
+        self.reduce_input_groups = 0
+        # Output side
+        self.output_paths = []
+        self.output_bytes = 0          # every store, logical (pre-replication)
+        self.map_store_bytes = 0       # written by map-side stores
+        self.reduce_store_bytes = 0    # written by reduce-side stores
+        self.injected_store_bytes = 0  # subset written by ReStore-injected stores
+        self.num_map_side_stores = 0
+        self.num_reduce_side_stores = 0
+        self.final_output_bytes = 0    # non-temporary, non-injected stores
+        self.reduce_output_records = 0
+        # Per-operator work: {(kind, stage): [records_processed, bytes_processed]}
+        self.op_charges = {}
+
+    def charge_op(self, kind, stage, records, nbytes=0):
+        key = (kind, stage)
+        entry = self.op_charges.setdefault(key, [0, 0])
+        entry[0] += records
+        entry[1] += nbytes
+
+    @property
+    def is_map_only(self):
+        return self.num_reducers == 0
+
+    def merge(self, other):
+        """Accumulate another job's counters (used for workflow totals)."""
+        self.map_input_bytes += other.map_input_bytes
+        self.map_input_records += other.map_input_records
+        self.map_output_records += other.map_output_records
+        self.map_output_bytes += other.map_output_bytes
+        self.reduce_input_groups += other.reduce_input_groups
+        self.output_bytes += other.output_bytes
+        self.map_store_bytes += other.map_store_bytes
+        self.reduce_store_bytes += other.reduce_store_bytes
+        self.injected_store_bytes += other.injected_store_bytes
+        self.num_map_side_stores += other.num_map_side_stores
+        self.num_reduce_side_stores += other.num_reduce_side_stores
+        self.final_output_bytes += other.final_output_bytes
+        self.reduce_output_records += other.reduce_output_records
+        for key, (records, nbytes) in other.op_charges.items():
+            entry = self.op_charges.setdefault(key, [0, 0])
+            entry[0] += records
+            entry[1] += nbytes
+
+    def summary(self):
+        return (
+            f"job {self.job_id}: in={self.map_input_bytes}B/{self.map_input_records}r, "
+            f"shuffle={self.map_output_bytes}B, out={self.output_bytes}B "
+            f"(injected={self.injected_store_bytes}B), reducers={self.num_reducers}"
+        )

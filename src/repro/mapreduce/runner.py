@@ -1,0 +1,285 @@
+"""The job runner: executes one MapReduce job's physical plan for real.
+
+Evaluation is a memoized pull over the job DAG: map-side pipelines feed the
+blocking operator's shuffle (partition → sort → group → merge), whose output
+feeds the reduce-side pipeline; every Store writes real lines to the DFS.
+Counters are collected along the way and priced by the cost model.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.data.codec import encode_row, encoded_size
+from repro.data.comparators import key_sort_key
+from repro.mapreduce.counters import JobStats
+from repro.mapreduce.shuffle import estimate_row_bytes, grouped_partitions
+
+
+class JobRunResult:
+    """Outcome of one job run: counters + Equation 2 breakdown."""
+
+    __slots__ = ("job_id", "stats", "breakdown", "skipped")
+
+    def __init__(self, job_id, stats, breakdown, skipped=False):
+        self.job_id = job_id
+        self.stats = stats
+        self.breakdown = breakdown
+        self.skipped = skipped
+
+    @classmethod
+    def skipped_job(cls, job_id):
+        """Result for a job eliminated by whole-job reuse (ET = 0)."""
+        from repro.mapreduce.costmodel import CostBreakdown
+
+        return cls(job_id, JobStats(job_id), CostBreakdown(0, 0, 0, 0, 0, 0, 0),
+                   skipped=True)
+
+    @property
+    def execution_time(self):
+        """ET(Job) in simulated seconds (Equation 2)."""
+        return self.breakdown.total
+
+    def __repr__(self):
+        return f"JobRunResult({self.job_id}, ET={self.execution_time:.1f}s)"
+
+
+class JobRunner:
+    def __init__(self, dfs, cost_model):
+        self.dfs = dfs
+        self.cost_model = cost_model
+
+    def run(self, job):
+        execution = _JobExecution(job, self.dfs, self.cost_model)
+        stats = execution.execute()
+        breakdown = self.cost_model.job_time(stats)
+        return JobRunResult(job.job_id, stats, breakdown)
+
+
+def _bytes_estimate(rows):
+    """Approximate serialized size of ``rows`` from a bounded sample."""
+    if not rows:
+        return 0
+    sample = rows[:64]
+    average = sum(estimate_row_bytes(row) for row in sample) / len(sample)
+    return int(average * len(rows))
+
+
+class _JobExecution:
+    def __init__(self, job, dfs, cost_model):
+        self.job = job
+        self.dfs = dfs
+        self.cost_model = cost_model
+        self.stats = JobStats(job.job_id)
+        self._memo = {}
+
+    def execute(self):
+        for store in self.job.plan.stores():
+            self._run_store(store)
+        return self.stats
+
+    # Store execution ------------------------------------------------------
+
+    def _run_store(self, store):
+        rows = self._rows_of(store.inputs[0])
+        lines = [encode_row(row, store.schema) for row in rows]
+        num_bytes = sum(encoded_size(line) for line in lines)
+        self.dfs.write_lines(store.path, lines, overwrite=True)
+        stats = self.stats
+        stats.output_paths.append(store.path)
+        stats.output_bytes += num_bytes
+        stats.charge_op("store", store.stage, len(rows), num_bytes)
+        if store.stage == "map":
+            stats.map_store_bytes += num_bytes
+            stats.num_map_side_stores += 1
+        else:
+            stats.reduce_store_bytes += num_bytes
+            stats.num_reduce_side_stores += 1
+        if store.injected:
+            stats.injected_store_bytes += num_bytes
+        elif not store.temporary:
+            stats.final_output_bytes += num_bytes
+
+    # Pipeline evaluation -----------------------------------------------------
+
+    def _rows_of(self, op):
+        cached = self._memo.get(id(op))
+        if cached is not None:
+            return cached
+        handler = getattr(self, f"_eval_{op.kind}", None)
+        if handler is None:
+            raise ExecutionError(f"job runner cannot execute operator kind {op.kind!r}")
+        rows = handler(op)
+        self._memo[id(op)] = rows
+        return rows
+
+    def _eval_load(self, op):
+        lines = self.dfs.read_lines(op.path)
+        rows = [self._decode(line, op.schema, op.path) for line in lines]
+        self.stats.map_input_bytes += self.dfs.file_size(op.path)
+        self.stats.map_input_records += len(rows)
+        self.stats.input_paths.append(op.path)
+        self.stats.charge_op("load", op.stage, len(rows), self.dfs.file_size(op.path))
+        return rows
+
+    @staticmethod
+    def _decode(line, schema, path):
+        from repro.data.codec import decode_row
+
+        try:
+            return decode_row(line, schema)
+        except Exception as exc:
+            raise ExecutionError(f"bad record in {path!r}: {exc}") from exc
+
+    def _eval_foreach(self, op):
+        source = self._rows_of(op.inputs[0])
+        rows = [op.eval_row(row) for row in source]
+        self.stats.charge_op("foreach", op.stage, len(source), _bytes_estimate(source))
+        return rows
+
+    def _eval_filter(self, op):
+        source = self._rows_of(op.inputs[0])
+        rows = [row for row in source if op.eval_row(row)]
+        self.stats.charge_op("filter", op.stage, len(source), _bytes_estimate(source))
+        return rows
+
+    def _eval_limit(self, op):
+        source = self._rows_of(op.inputs[0])
+        self.stats.charge_op("limit", op.stage, len(source), _bytes_estimate(source))
+        return source[: op.count]
+
+    def _eval_union(self, op):
+        rows = []
+        for parent in op.inputs:
+            rows.extend(self._rows_of(parent))
+        self.stats.charge_op("union", op.stage, len(rows), _bytes_estimate(rows))
+        return rows
+
+    def _eval_split(self, op):
+        rows = self._rows_of(op.inputs[0])
+        self.stats.charge_op("split", op.stage, len(rows), 0)
+        return rows
+
+    # Blocking operators (the job's shuffle) ---------------------------------------
+
+    def _shuffled_groups(self, op, keyed_rows, total_rows, total_bytes):
+        stats = self.stats
+        stats.map_output_records += total_rows
+        stats.map_output_bytes += total_bytes
+        num_reducers = self.cost_model.choose_num_reducers(
+            stats.map_output_bytes, self.job.parallel
+        )
+        stats.num_reducers = num_reducers
+        partitions = grouped_partitions(keyed_rows, num_reducers)
+        stats.reduce_input_groups += sum(len(groups) for groups in partitions)
+        return partitions
+
+    def _check_is_shuffle(self, op):
+        if op is not self.job.shuffle_op:
+            raise ExecutionError(
+                f"blocking operator {op.signature()} is not this job's shuffle; "
+                "the MR compiler must split it into its own job"
+            )
+
+    def _branch_keyed_rows(self, op, drop_null_keys):
+        key_fns = op.key_functions()
+        keyed = []
+        total_rows = 0
+        total_bytes = 0
+        for branch, parent in enumerate(op.inputs):
+            key_fn = key_fns[branch]
+            for row in self._rows_of(parent):
+                key = key_fn(row)
+                if drop_null_keys and _key_is_null(key):
+                    continue
+                keyed.append((branch, key, row))
+                total_rows += 1
+                total_bytes += estimate_row_bytes(row) + 4
+        return keyed, total_rows, total_bytes
+
+    def _eval_join(self, op):
+        self._check_is_shuffle(op)
+        # Inner equi-join: null keys never match (Pig semantics), so they
+        # are dropped at the map side.
+        keyed, total_rows, total_bytes = self._branch_keyed_rows(op, drop_null_keys=True)
+        partitions = self._shuffled_groups(op, keyed, total_rows, total_bytes)
+        rows = []
+        for groups in partitions:
+            for _, by_branch in groups:
+                left_rows = by_branch.get(0, ())
+                right_rows = by_branch.get(1, ())
+                for left in left_rows:
+                    for right in right_rows:
+                        rows.append(left + right)
+        self.stats.charge_op("join", "reduce", total_rows + len(rows), total_bytes)
+        self.stats.reduce_output_records += len(rows)
+        return rows
+
+    def _eval_group(self, op):
+        self._check_is_shuffle(op)
+        keyed, total_rows, total_bytes = self._branch_keyed_rows(op, drop_null_keys=False)
+        partitions = self._shuffled_groups(op, keyed, total_rows, total_bytes)
+        composite = not op.is_group_all and len(op.keys) > 1
+        rows = []
+        for groups in partitions:
+            for key, by_branch in groups:
+                bag = tuple(by_branch.get(0, ()))
+                if composite:
+                    rows.append(tuple(key) + (bag,))
+                else:
+                    rows.append((key, bag))
+        self.stats.charge_op("group", "reduce", total_rows, total_bytes)
+        self.stats.reduce_output_records += len(rows)
+        return rows
+
+    def _eval_cogroup(self, op):
+        self._check_is_shuffle(op)
+        keyed, total_rows, total_bytes = self._branch_keyed_rows(op, drop_null_keys=False)
+        partitions = self._shuffled_groups(op, keyed, total_rows, total_bytes)
+        composite = len(op.key_lists[0]) > 1
+        num_branches = len(op.inputs)
+        rows = []
+        for groups in partitions:
+            for key, by_branch in groups:
+                bags = tuple(tuple(by_branch.get(b, ())) for b in range(num_branches))
+                if composite:
+                    rows.append(tuple(key) + bags)
+                else:
+                    rows.append((key,) + bags)
+        self.stats.charge_op("cogroup", "reduce", total_rows, total_bytes)
+        self.stats.reduce_output_records += len(rows)
+        return rows
+
+    def _eval_distinct(self, op):
+        self._check_is_shuffle(op)
+        keyed, total_rows, total_bytes = self._branch_keyed_rows(op, drop_null_keys=False)
+        partitions = self._shuffled_groups(op, keyed, total_rows, total_bytes)
+        rows = []
+        for groups in partitions:
+            for key, _ in groups:
+                rows.append(key)  # the key IS the whole row
+        self.stats.charge_op("distinct", "reduce", total_rows, total_bytes)
+        self.stats.reduce_output_records += len(rows)
+        return rows
+
+    def _eval_sort(self, op):
+        self._check_is_shuffle(op)
+        keyed, total_rows, total_bytes = self._branch_keyed_rows(op, drop_null_keys=False)
+        # Total order: a single reducer (job.parallel forces 1 for sorts).
+        self.stats.map_output_records += total_rows
+        self.stats.map_output_bytes += total_bytes
+        self.stats.num_reducers = 1
+        rows = [row for _, _, row in keyed]
+        # Stable multi-pass sort honours per-key ASC/DESC.
+        for compiled, direction in reversed(op.keys):
+            fn = compiled.fn
+            rows.sort(key=lambda row: key_sort_key(fn(row)), reverse=direction == "desc")
+        self.stats.reduce_input_groups += len(rows)
+        self.stats.charge_op("sort", "reduce", total_rows, total_bytes)
+        self.stats.reduce_output_records += len(rows)
+        return rows
+
+
+def _key_is_null(key):
+    if key is None:
+        return True
+    if isinstance(key, tuple):
+        return any(item is None for item in key)
+    return False

@@ -1,0 +1,81 @@
+"""Shuffle machinery: stable partitioning, sorting, grouping.
+
+Partitioning must be deterministic across processes (Python's builtin
+``hash`` is salted), so keys are hashed with CRC32 over a canonical text
+form.
+"""
+
+import zlib
+
+from repro.data.comparators import key_sort_key
+
+
+def stable_hash(key):
+    """Deterministic 32-bit hash of a shuffle key (scalar or tuple)."""
+    return zlib.crc32(_canonical_bytes(key))
+
+
+def _canonical_bytes(key):
+    if key is None:
+        return b"\x00N"
+    if isinstance(key, bool):
+        return b"\x00B" + (b"1" if key else b"0")
+    if isinstance(key, int):
+        return b"\x00I" + str(key).encode("ascii")
+    if isinstance(key, float):
+        if key == int(key):  # 2.0 must hash like 2 (they compare equal)
+            return b"\x00I" + str(int(key)).encode("ascii")
+        return b"\x00F" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"\x00S" + key.encode("utf-8")
+    if isinstance(key, tuple):
+        return b"\x00T" + b"|".join(_canonical_bytes(item) for item in key)
+    raise TypeError(f"cannot hash shuffle key of type {type(key).__name__}")
+
+
+def partition_index(key, num_partitions):
+    return stable_hash(key) % num_partitions
+
+
+def estimate_row_bytes(row):
+    """Cheap serialized-size estimate used for shuffle-volume accounting."""
+    total = 0
+    for value in row:
+        if value is None:
+            total += 1
+        elif isinstance(value, str):
+            total += len(value) + 1
+        elif isinstance(value, tuple):  # bag
+            total += 2 + sum(estimate_row_bytes(inner) + 2 for inner in value)
+        else:
+            total += len(str(value)) + 1
+    return total
+
+
+def grouped_partitions(keyed_rows, num_partitions):
+    """Partition, sort, and group (branch-tagged) keyed rows.
+
+    ``keyed_rows`` is an iterable of (branch_index, key, row). Returns a
+    list of partitions; each partition is a list of (key, groups) where
+    ``groups`` maps branch_index -> list of rows, in deterministic order
+    (partitions by index, keys ascending, rows in arrival order).
+    """
+    buckets = [[] for _ in range(num_partitions)]
+    for sequence, (branch, key, row) in enumerate(keyed_rows):
+        buckets[partition_index(key, num_partitions)].append(
+            (key_sort_key(key), sequence, branch, key, row)
+        )
+    partitions = []
+    for bucket in buckets:
+        bucket.sort(key=lambda item: (item[0], item[1]))
+        groups = []
+        current_key_sort = object()
+        current = None
+        for sort_key, _, branch, key, row in bucket:
+            if current is None or sort_key != current_key_sort:
+                current = (key, {})
+                groups.append(current)
+                current_key_sort = sort_key
+            current[1].setdefault(branch, []).append(row)
+        partitions.append(groups)
+    return partitions

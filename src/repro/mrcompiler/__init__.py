@@ -1,0 +1,13 @@
+"""Compile physical plans into workflows of MapReduce jobs.
+
+Mirrors Pig's MapReduce compiler (paper Section 6.1): blocking operators
+(Join, Group, CoGroup, Distinct, Order) must sit in a reduce stage, so a
+plan with several of them becomes several jobs chained through temporary
+DFS files. The JobControl analog iterates the workflow in dependency order
+— the extension point where ReStore hooks in (Section 6.2).
+"""
+
+from repro.mrcompiler.compiler import compile_to_workflow
+from repro.mrcompiler.jobcontrol import JobControl
+
+__all__ = ["compile_to_workflow", "JobControl"]

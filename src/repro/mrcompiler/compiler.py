@@ -1,0 +1,219 @@
+"""Physical plan -> workflow of MapReduce jobs.
+
+The algorithm walks the query plan topologically, accumulating operators
+into job *fragments*:
+
+* a Load starts a map-side fragment;
+* non-blocking operators stay in their input's fragment and stage;
+* a blocking operator needs all of its inputs map-side in one fragment —
+  inputs living in a fragment that already shuffles are materialized to a
+  temp file and re-loaded in a fresh fragment (this is where the chain
+  Job1 -> temp -> Job2 of the paper's Figure 3 comes from) — and then
+  starts the fragment's reduce stage;
+* a Store becomes a sink of its input's fragment.
+
+Each fragment with sinks becomes one MRJob; temp files define the
+dependency edges.
+"""
+
+import itertools
+
+from repro.common.errors import CompilationError
+from repro.mapreduce.job import MRJob
+from repro.mapreduce.workflow import Workflow
+from repro.physical.operators import MAP_STAGE, POLoad, POStore, REDUCE_STAGE
+from repro.physical.plan import PhysicalPlan
+
+_fragment_ids = itertools.count(1)
+
+
+def compile_to_workflow(physical_plan, name, temp_prefix=None):
+    """Compile ``physical_plan`` into a :class:`Workflow` named ``name``."""
+    return _Compiler(physical_plan, name, temp_prefix).compile()
+
+
+class _Fragment:
+    __slots__ = ("index", "sinks", "has_shuffle", "shuffle_op", "alive")
+
+    def __init__(self):
+        self.index = next(_fragment_ids)
+        self.sinks = []
+        self.has_shuffle = False
+        self.shuffle_op = None
+        self.alive = True
+
+
+class _Compiler:
+    def __init__(self, plan, name, temp_prefix):
+        self._plan = plan
+        self._name = name
+        self._temp_prefix = temp_prefix or f"/tmp/{name}"
+        self._clones = {}         # id(query op) -> clone in some job plan
+        self._fragment_of = {}    # id(clone) -> _Fragment
+        self._temp_counter = itertools.count(1)
+        self._temp_paths = []
+        self._path_producer = {}  # temp path -> producing fragment
+        self._materialized = {}   # id(clone) -> temp path (memoized)
+
+    # Entry point --------------------------------------------------------
+
+    def compile(self):
+        for op in self._plan.operators():
+            self._place(op)
+        return self._build_workflow()
+
+    # Placement ------------------------------------------------------------
+
+    def _place(self, op):
+        if isinstance(op, POLoad):
+            clone = op.copy_with_inputs([])
+            clone.stage = MAP_STAGE
+            self._register(clone, self._new_fragment())
+        elif isinstance(op, POStore):
+            parent = self._clones[id(op.inputs[0])]
+            clone = op.copy_with_inputs([parent])
+            clone.stage = parent.stage
+            fragment = self._fragment_of[id(parent)]
+            fragment.sinks.append(clone)
+            self._register(clone, fragment)
+        elif op.is_blocking:
+            clone = self._place_blocking(op)
+        elif len(op.inputs) > 1:
+            clone = self._place_multi_input(op)
+        else:
+            parent = self._clones[id(op.inputs[0])]
+            clone = op.copy_with_inputs([parent])
+            clone.stage = parent.stage
+            self._register(clone, self._fragment_of[id(parent)])
+        self._clones[id(op)] = clone
+
+    def _place_blocking(self, op):
+        parents = []
+        fragments = []
+        for query_parent in op.inputs:
+            clone, fragment = self._map_only_view(query_parent)
+            parents.append(clone)
+            fragments.append(fragment)
+        target = self._merge_fragments(fragments)
+        clone = op.copy_with_inputs(parents)
+        clone.stage = REDUCE_STAGE
+        target.has_shuffle = True
+        target.shuffle_op = clone
+        self._register(clone, target)
+        return clone
+
+    def _place_multi_input(self, op):
+        """Non-blocking multi-input operators (Union)."""
+        current = [self._clones[id(parent)] for parent in op.inputs]
+        frames = [self._fragment_of[id(clone)] for clone in current]
+        same_fragment = all(frame is frames[0] for frame in frames)
+        same_stage = len({clone.stage for clone in current}) == 1
+        if same_fragment and same_stage:
+            clone = op.copy_with_inputs(current)
+            clone.stage = current[0].stage
+            self._register(clone, frames[0])
+            return clone
+        parents = []
+        fragments = []
+        for query_parent in op.inputs:
+            view, fragment = self._map_only_view(query_parent)
+            parents.append(view)
+            fragments.append(fragment)
+        target = self._merge_fragments(fragments)
+        clone = op.copy_with_inputs(parents)
+        clone.stage = MAP_STAGE
+        self._register(clone, target)
+        return clone
+
+    def _map_only_view(self, query_op):
+        """A map-stage handle on ``query_op``'s output, materializing the
+        producing fragment to a temp file when it already shuffles."""
+        clone = self._clones[id(query_op)]
+        fragment = self._fragment_of[id(clone)]
+        if not fragment.has_shuffle:
+            return clone, fragment
+        path = self._materialized.get(id(clone))
+        if path is None:
+            path = self._new_temp_path()
+            store = POStore(clone, path, temporary=True)
+            store.stage = clone.stage
+            fragment.sinks.append(store)
+            self._register(store, fragment)
+            self._materialized[id(clone)] = path
+            self._path_producer[path] = fragment
+        load = POLoad(path, clone.schema, version=0, alias=clone.alias)
+        load.stage = MAP_STAGE
+        new_fragment = self._new_fragment()
+        self._register(load, new_fragment)
+        return load, new_fragment
+
+    # Fragment bookkeeping ---------------------------------------------------
+
+    def _new_fragment(self):
+        return _Fragment()
+
+    def _register(self, clone, fragment):
+        self._fragment_of[id(clone)] = fragment
+
+    def _merge_fragments(self, fragments):
+        """Merge distinct fragments into the earliest-created one."""
+        unique = []
+        for fragment in fragments:
+            if fragment not in unique:
+                unique.append(fragment)
+        target = min(unique, key=lambda fragment: fragment.index)
+        for fragment in unique:
+            if fragment is target:
+                continue
+            if fragment.has_shuffle:
+                raise CompilationError(
+                    "internal: merging a fragment that already shuffles"
+                )
+            for clone_id, owner in list(self._fragment_of.items()):
+                if owner is fragment:
+                    self._fragment_of[clone_id] = target
+            target.sinks.extend(fragment.sinks)
+            fragment.alive = False
+        return target
+
+    def _new_temp_path(self):
+        path = f"{self._temp_prefix}/t{next(self._temp_counter)}"
+        self._temp_paths.append(path)
+        return path
+
+    # Workflow assembly -----------------------------------------------------------
+
+    def _build_workflow(self):
+        live = []
+        seen = set()
+        for fragment in self._fragment_of.values():
+            if fragment.alive and id(fragment) not in seen:
+                seen.add(id(fragment))
+                live.append(fragment)
+        live.sort(key=lambda fragment: fragment.index)
+        jobs = {}
+        for number, fragment in enumerate(live, start=1):
+            if not fragment.sinks:
+                raise CompilationError(
+                    f"fragment {fragment.index} produced no output store"
+                )
+            plan = PhysicalPlan(list(fragment.sinks))
+            job = MRJob(f"{self._name}-j{number}", plan,
+                        shuffle_op=fragment.shuffle_op)
+            jobs[id(fragment)] = job
+        for fragment in live:
+            job = jobs[id(fragment)]
+            for load in job.loads():
+                producer = self._path_producer.get(load.path)
+                if producer is not None:
+                    producer_job = jobs[id(producer)]
+                    if producer_job not in job.dependencies:
+                        job.dependencies.append(producer_job)
+        workflow = Workflow(self._name, [jobs[id(fragment)] for fragment in live],
+                            self._temp_paths)
+        _check_acyclic(workflow)
+        return workflow
+
+
+def _check_acyclic(workflow):
+    workflow.topological_jobs()  # raises on cycles

@@ -1,0 +1,73 @@
+"""JobControl: iterative workflow execution with preparation hooks.
+
+Pig's JobControlCompiler iterates over the workflow, each time selecting
+the jobs whose dependencies have finished, preparing them, and submitting
+them to Hadoop (paper Section 6.1). ReStore extends exactly this loop
+(Section 6.2): its manager subclasses :class:`JobControl` and overrides
+
+* :meth:`prepare_job` — plan matching/rewriting and sub-job injection just
+  before submission (returning False eliminates the job: whole-job reuse);
+* :meth:`after_job` — repository registration from execution statistics.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.mapreduce.runner import JobRunner, JobRunResult
+from repro.mapreduce.workflow import WorkflowResult
+
+
+class JobControl:
+    """Base (no-reuse) workflow driver; semantics match WorkflowExecutor."""
+
+    def __init__(self, dfs, cost_model, keep_temps=False):
+        self.dfs = dfs
+        self.cost_model = cost_model
+        self.keep_temps = keep_temps
+        self._runner = JobRunner(dfs, cost_model)
+
+    def run(self, workflow):
+        result = WorkflowResult(workflow)
+        done = set()
+        remaining = list(workflow.topological_jobs())
+        while remaining:
+            ready = [
+                job
+                for job in remaining
+                if all(dep.job_id in done for dep in job.dependencies)
+            ]
+            if not ready:
+                raise ExecutionError(f"workflow {workflow.name!r} is deadlocked")
+            for job in ready:
+                self._run_one(job, workflow, result)
+                done.add(job.job_id)
+            remaining = [job for job in remaining if job.job_id not in done]
+        self._cleanup(workflow)
+        return result
+
+    def _run_one(self, job, workflow, result):
+        execute = self.prepare_job(job, workflow, result)
+        if execute:
+            run_result = self._runner.run(job)
+        else:
+            run_result = JobRunResult.skipped_job(job.job_id)
+        result.job_results[job.job_id] = run_result
+        dep_total = max(
+            (result.completion_times[dep.job_id] for dep in job.dependencies),
+            default=0.0,
+        )
+        result.completion_times[job.job_id] = run_result.execution_time + dep_total
+        self.after_job(job, run_result, executed=execute)
+
+    def _cleanup(self, workflow):
+        if self.keep_temps:
+            return
+        for path in workflow.temp_paths:
+            self.dfs.delete_if_exists(path)
+
+    # Hooks ----------------------------------------------------------------
+
+    def prepare_job(self, job, workflow, result):
+        """Called when ``job`` becomes ready; return False to skip it."""
+        return True
+
+    def after_job(self, job, run_result, executed):
+        """Called after ``job`` ran (or was skipped)."""

@@ -1,0 +1,47 @@
+"""Physical plans: executable operator DAGs with canonical signatures.
+
+ReStore performs matching, sub-job enumeration, and selection **on physical
+plans** (paper Section 2.2), because every dataflow system has a similar
+physical operator vocabulary. Operators here carry:
+
+* compiled expression closures (for the MapReduce engine to execute),
+* a canonical ``signature()`` string (position-based, name-free) used by
+  the matcher's operator-equivalence test,
+* a ``stage`` attribute assigned by the MR compiler (map or reduce side).
+"""
+
+from repro.physical.operators import (
+    POCoGroup,
+    PODistinct,
+    POFilter,
+    POForEach,
+    POGroup,
+    POJoin,
+    POLimit,
+    POLoad,
+    POSort,
+    POSplit,
+    POStore,
+    POUnion,
+    PhysOp,
+)
+from repro.physical.plan import PhysicalPlan
+from repro.physical.translate import logical_to_physical
+
+__all__ = [
+    "logical_to_physical",
+    "PhysicalPlan",
+    "PhysOp",
+    "POCoGroup",
+    "PODistinct",
+    "POFilter",
+    "POForEach",
+    "POGroup",
+    "POJoin",
+    "POLimit",
+    "POLoad",
+    "POSort",
+    "POSplit",
+    "POStore",
+    "POUnion",
+]

@@ -1,0 +1,13 @@
+"""Pig Latin front end: lexer, parser, expressions, builtin functions.
+
+The dialect is the subset PigMix needs: LOAD/AS, FOREACH..GENERATE (with
+FLATTEN(group) and aggregate functions over grouped bags), FILTER BY, JOIN,
+GROUP BY / GROUP ALL, COGROUP, DISTINCT, UNION, ORDER BY, LIMIT, SPLIT-free
+STORE. Queries parse to an AST of statements; the logical layer turns the
+AST into an operator DAG.
+"""
+
+from repro.piglatin.lexer import tokenize
+from repro.piglatin.parser import parse_query
+
+__all__ = ["parse_query", "tokenize"]

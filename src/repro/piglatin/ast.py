@@ -1,0 +1,297 @@
+"""AST nodes for Pig Latin statements and expressions.
+
+Nodes are plain, immutable-by-convention records with structural equality
+(useful in parser tests). Expression resolution against schemas happens in
+:mod:`repro.logical` / :mod:`repro.physical`, not here.
+"""
+
+
+class _Node:
+    """Structural equality + repr over ``__slots__``."""
+
+    __slots__ = ()
+
+    def _fields(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._fields() == other._fields()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._fields()))
+
+    def __repr__(self):
+        args = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"{type(self).__name__}({args})"
+
+
+# --- Expressions -----------------------------------------------------------
+
+
+class FieldRef(_Node):
+    """A (possibly ``alias::qualified``) field reference, incl. ``group``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class PositionalRef(_Node):
+    """``$n`` positional field reference."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        self.index = index
+
+
+class Deref(_Node):
+    """``bag.field`` projection inside aggregate arguments."""
+
+    __slots__ = ("base", "field")
+
+    def __init__(self, base, field):
+        self.base = base
+        self.field = field
+
+
+class Literal(_Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class UnaryOp(_Node):
+    """``op`` is 'neg' or 'not'."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class BinaryOp(_Node):
+    """``op`` in {+,-,*,/,%,==,!=,<,<=,>,>=,and,or}."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class FuncCall(_Node):
+    """Builtin function application, e.g. ``SUM(C.est_revenue)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name.upper()
+        self.args = tuple(args)
+
+
+class Cast(_Node):
+    """``(int) expr`` style cast; ``typename`` in {int, double, chararray}."""
+
+    __slots__ = ("typename", "operand")
+
+    def __init__(self, typename, operand):
+        self.typename = typename
+        self.operand = operand
+
+
+class IsNull(_Node):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand, negated=False):
+        self.operand = operand
+        self.negated = negated
+
+
+# --- Statements ---------------------------------------------------------------
+
+
+class GenItem(_Node):
+    """One GENERATE item: an expression, optional AS name, FLATTEN flag."""
+
+    __slots__ = ("expr", "alias", "flatten")
+
+    def __init__(self, expr, alias=None, flatten=False):
+        self.expr = expr
+        self.alias = alias
+        self.flatten = flatten
+
+
+class FieldSpec(_Node):
+    """A field in a LOAD ... AS clause: name plus optional type name."""
+
+    __slots__ = ("name", "typename")
+
+    def __init__(self, name, typename=None):
+        self.name = name
+        self.typename = typename
+
+
+class LoadStmt(_Node):
+    __slots__ = ("alias", "path", "fields")
+
+    def __init__(self, alias, path, fields):
+        self.alias = alias
+        self.path = path
+        self.fields = tuple(fields)
+
+
+class InnerAssign(_Node):
+    """Nested-FOREACH assignment: ``x = B;`` or ``x = B.field;``."""
+
+    __slots__ = ("alias", "expr")
+
+    def __init__(self, alias, expr):
+        self.alias = alias
+        self.expr = expr
+
+
+class InnerFilter(_Node):
+    """Nested-FOREACH filter: ``x = filter B by cond;``."""
+
+    __slots__ = ("alias", "input_alias", "condition")
+
+    def __init__(self, alias, input_alias, condition):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.condition = condition
+
+
+class InnerDistinct(_Node):
+    """Nested-FOREACH distinct: ``x = distinct B;``."""
+
+    __slots__ = ("alias", "input_alias")
+
+    def __init__(self, alias, input_alias):
+        self.alias = alias
+        self.input_alias = input_alias
+
+
+class ForEachStmt(_Node):
+    """FOREACH; ``inner`` holds the nested block's statements (if any)."""
+
+    __slots__ = ("alias", "input_alias", "items", "inner")
+
+    def __init__(self, alias, input_alias, items, inner=()):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.items = tuple(items)
+        self.inner = tuple(inner)
+
+
+class FilterStmt(_Node):
+    __slots__ = ("alias", "input_alias", "condition")
+
+    def __init__(self, alias, input_alias, condition):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.condition = condition
+
+
+class JoinStmt(_Node):
+    """``inputs`` is a tuple of (alias, key_exprs) pairs, one per side."""
+
+    __slots__ = ("alias", "inputs", "parallel")
+
+    def __init__(self, alias, inputs, parallel=None):
+        self.alias = alias
+        self.inputs = tuple((name, tuple(keys)) for name, keys in inputs)
+        self.parallel = parallel
+
+
+class GroupStmt(_Node):
+    """``keys`` is a tuple of expressions, or None for GROUP ... ALL."""
+
+    __slots__ = ("alias", "input_alias", "keys", "parallel")
+
+    def __init__(self, alias, input_alias, keys, parallel=None):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.keys = None if keys is None else tuple(keys)
+        self.parallel = parallel
+
+
+class CoGroupStmt(_Node):
+    __slots__ = ("alias", "inputs", "parallel")
+
+    def __init__(self, alias, inputs, parallel=None):
+        self.alias = alias
+        self.inputs = tuple((name, tuple(keys)) for name, keys in inputs)
+        self.parallel = parallel
+
+
+class DistinctStmt(_Node):
+    __slots__ = ("alias", "input_alias", "parallel")
+
+    def __init__(self, alias, input_alias, parallel=None):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.parallel = parallel
+
+
+class UnionStmt(_Node):
+    __slots__ = ("alias", "input_aliases")
+
+    def __init__(self, alias, input_aliases):
+        self.alias = alias
+        self.input_aliases = tuple(input_aliases)
+
+
+class OrderStmt(_Node):
+    """``keys`` is a tuple of (field_name, 'asc'|'desc')."""
+
+    __slots__ = ("alias", "input_alias", "keys", "parallel")
+
+    def __init__(self, alias, input_alias, keys, parallel=None):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.keys = tuple(keys)
+        self.parallel = parallel
+
+
+class LimitStmt(_Node):
+    __slots__ = ("alias", "input_alias", "count")
+
+    def __init__(self, alias, input_alias, count):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.count = count
+
+
+class SplitStmt(_Node):
+    """``SPLIT A INTO B IF cond, C IF cond;`` — ``branches`` is a tuple of
+    (alias, condition) pairs. A row goes to every branch whose condition
+    holds (Pig semantics), so the statement desugars to one FILTER per
+    branch."""
+
+    __slots__ = ("input_alias", "branches")
+
+    def __init__(self, input_alias, branches):
+        self.input_alias = input_alias
+        self.branches = tuple(branches)
+
+
+class StoreStmt(_Node):
+    __slots__ = ("alias", "path")
+
+    def __init__(self, alias, path):
+        self.alias = alias
+        self.path = path
+
+
+class Query(_Node):
+    """A whole script: ordered statements."""
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements):
+        self.statements = tuple(statements)

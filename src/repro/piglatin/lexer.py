@@ -1,0 +1,112 @@
+"""Hand-written lexer for the Pig Latin dialect."""
+
+from repro.common.errors import ParseError
+from repro.piglatin.tokens import SYMBOLS, Token, TokenKind
+
+_NAME_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_BODY = _NAME_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text):
+    """Tokenize ``text`` into a list of :class:`Token` ending with EOF."""
+    tokens = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column():
+        return pos - line_start + 1
+
+    while pos < length:
+        char = text[pos]
+        # Whitespace ---------------------------------------------------------
+        if char in " \t\r":
+            pos += 1
+            continue
+        if char == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        # Comments: -- to end of line, /* ... */ ------------------------------
+        if text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise ParseError("unterminated /* comment", line, column())
+            segment = text[pos : end + 2]
+            line += segment.count("\n")
+            if "\n" in segment:
+                line_start = pos + segment.rfind("\n") + 1
+            pos = end + 2
+            continue
+        # Strings -------------------------------------------------------------
+        if char == "'":
+            end = pos + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise ParseError("unterminated string literal", line, column())
+                if text[end] == "\\" and end + 1 < length:
+                    chunks.append(text[end + 1])
+                    end += 2
+                    continue
+                if text[end] == "'":
+                    break
+                if text[end] == "\n":
+                    raise ParseError("newline in string literal", line, column())
+                chunks.append(text[end])
+                end += 1
+            tokens.append(Token(TokenKind.STRING, "".join(chunks), line, column()))
+            pos = end + 1
+            continue
+        # Positional references -----------------------------------------------
+        if char == "$":
+            end = pos + 1
+            while end < length and text[end] in _DIGITS:
+                end += 1
+            if end == pos + 1:
+                raise ParseError("expected digits after $", line, column())
+            tokens.append(Token(TokenKind.DOLLAR, text[pos + 1 : end], line, column()))
+            pos = end
+            continue
+        # Numbers ---------------------------------------------------------------
+        if char in _DIGITS:
+            end = pos
+            seen_dot = False
+            while end < length and (text[end] in _DIGITS or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is a dereference, not a decimal.
+                    if end + 1 >= length or text[end + 1] not in _DIGITS:
+                        break
+                    seen_dot = True
+                end += 1
+            literal = text[pos:end]
+            kind = TokenKind.DOUBLE if seen_dot else TokenKind.INT
+            tokens.append(Token(kind, literal, line, column()))
+            pos = end
+            continue
+        # Names / keywords ------------------------------------------------------
+        if char in _NAME_START:
+            end = pos
+            while end < length and text[end] in _NAME_BODY:
+                end += 1
+            tokens.append(Token(TokenKind.NAME, text[pos:end], line, column()))
+            pos = end
+            continue
+        # Symbols ------------------------------------------------------------------
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, line, column()))
+                pos += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column())
+
+    tokens.append(Token(TokenKind.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,134 @@
+"""Nested FOREACH blocks: inner pipelines over grouped bags.
+
+Pig allows a FOREACH to carry a block of inner statements operating on the
+bag fields of each row, e.g. PigMix's L4::
+
+    D = foreach C {
+        aleph = B.action;
+        gen = distinct aleph;
+        generate group, COUNT(gen);
+    };
+
+The supported inner forms are projections (``x = B;`` / ``x = B.field;``),
+``filter``, and ``distinct``. Compilation appends one *virtual bag field*
+per inner alias to the row schema; GENERATE items are then compiled
+against that extended schema, so aggregates over inner aliases need no
+special casing. Canonical forms are positional, like every other
+signature.
+"""
+
+from repro.common.errors import DataError, PlanError
+from repro.data.comparators import key_sort_key
+from repro.data.schema import Field, Schema
+from repro.data.types import DataType
+from repro.piglatin import ast
+from repro.piglatin.expressions import compile_predicate
+
+
+class InnerOp:
+    """One compiled inner statement: extends the row with a new bag."""
+
+    __slots__ = ("alias", "fn", "canonical", "element")
+
+    def __init__(self, alias, fn, canonical, element):
+        self.alias = alias
+        #: fn(extended_row_values) -> tuple of element rows
+        self.fn = fn
+        self.canonical = canonical
+        self.element = element
+
+
+def compile_inner_pipeline(input_schema, inner_statements):
+    """Compile inner statements against ``input_schema``.
+
+    Returns (extended_schema, [InnerOp...]): the extended schema has one
+    BAG field appended per inner alias, in statement order.
+    """
+    fields = list(input_schema.fields)
+    ops = []
+    for statement in inner_statements:
+        schema_so_far = Schema(fields)
+        op = _compile_inner(statement, schema_so_far)
+        ops.append(op)
+        fields.append(Field(op.alias, DataType.BAG, op.element))
+    return Schema(fields), ops
+
+
+def _bag_source(schema, name):
+    position = schema.position_of(name)
+    field = schema.field_at(position)
+    if field.dtype is not DataType.BAG:
+        raise PlanError(f"inner statements operate on bags; {name!r} is "
+                        f"{field.dtype.value}")
+    if field.element is None:
+        raise PlanError(f"bag {name!r} has no element schema")
+    return position, field.element
+
+
+def _compile_inner(statement, schema):
+    if isinstance(statement, ast.InnerAssign):
+        return _compile_assign(statement, schema)
+    if isinstance(statement, ast.InnerFilter):
+        return _compile_inner_filter(statement, schema)
+    if isinstance(statement, ast.InnerDistinct):
+        return _compile_inner_distinct(statement, schema)
+    raise PlanError(f"unsupported inner statement {statement!r}")
+
+
+def _compile_assign(statement, schema):
+    expr = statement.expr
+    if isinstance(expr, ast.FieldRef):
+        position, element = _bag_source(schema, expr.name)
+
+        def fn(values):
+            bag = values[position]
+            return () if bag is None else bag
+
+        return InnerOp(statement.alias, fn, f"${position}", element)
+    if isinstance(expr, ast.Deref):
+        position, element = _bag_source(schema, expr.base)
+        inner = element.position_of(expr.field)
+        inner_field = element.field_at(inner)
+
+        def fn(values):
+            bag = values[position]
+            if bag is None:
+                return ()
+            return tuple((row[inner],) for row in bag)
+
+        projected = Schema([inner_field.renamed(inner_field.short_name)])
+        return InnerOp(statement.alias, fn, f"${position}.{inner}", projected)
+    raise PlanError(
+        "inner assignments must be a bag or bag projection "
+        f"(got {expr!r})"
+    )
+
+
+def _compile_inner_filter(statement, schema):
+    position, element = _bag_source(schema, statement.input_alias)
+    predicate = compile_predicate(statement.condition, element)
+    pred_fn = predicate.fn
+
+    def fn(values):
+        bag = values[position]
+        if bag is None:
+            return ()
+        return tuple(row for row in bag if pred_fn(row) is True)
+
+    canonical = f"filter(${position},{predicate.canonical})"
+    return InnerOp(statement.alias, fn, canonical, element)
+
+
+def _compile_inner_distinct(statement, schema):
+    position, element = _bag_source(schema, statement.input_alias)
+
+    def fn(values):
+        bag = values[position]
+        if bag is None:
+            return ()
+        unique = {}
+        for row in bag:
+            unique.setdefault(tuple(row), row)
+        return tuple(sorted(unique.values(), key=key_sort_key))
+
+    return InnerOp(statement.alias, fn, f"distinct(${position})", element)

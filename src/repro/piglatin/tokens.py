@@ -1,0 +1,44 @@
+"""Token kinds and the token record produced by the lexer."""
+
+import enum
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"            # identifiers and keywords (case-insensitive)
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"        # 'single-quoted'
+    DOLLAR = "dollar"        # $0, $1 positional references
+    SYMBOL = "symbol"        # punctuation and operators
+    EOF = "eof"
+
+
+# Keywords are matched case-insensitively against NAME tokens.
+KEYWORDS = frozenset(
+    {
+        "load", "as", "using", "foreach", "generate", "filter", "by", "join",
+        "group", "cogroup", "all", "distinct", "union", "order", "store",
+        "into", "limit", "asc", "desc", "and", "or", "not", "is", "null",
+        "flatten", "parallel", "split", "if",
+    }
+)
+
+# Multi-character symbols first so the lexer can match greedily.
+SYMBOLS = ("==", "!=", "<=", ">=", "::", "=", "(", ")", ",", ";", "<", ">",
+           "+", "-", "*", "/", "%", ".", "{", "}", "#", ":")
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind, text, line, column):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def matches_keyword(self, word):
+        return self.kind is TokenKind.NAME and self.text.lower() == word
+
+    def __repr__(self):
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,34 @@
+"""The PigMix benchmark workload (paper Section 7).
+
+A deterministic data generator for the page_views / users / power_users
+tables and the query subset the paper evaluates: L2-L8 and L11, plus the
+L3a-c / L11a-d variants of Section 7.1. The paper's 15 GB and 150 GB
+instances are realized as scaled-down datasets whose byte counts the
+harness maps back to paper scale through the cost model's ``scale`` knob.
+"""
+
+from repro.pigmix.datagen import (
+    PAGE_VIEWS_SCHEMA,
+    PigMixConfig,
+    PigMixData,
+    POWER_USERS_SCHEMA,
+    USERS_SCHEMA,
+)
+from repro.pigmix.queries import (
+    ALL_QUERIES,
+    PigMixPaths,
+    query_text,
+    VARIANT_FAMILIES,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "PAGE_VIEWS_SCHEMA",
+    "PigMixConfig",
+    "PigMixData",
+    "PigMixPaths",
+    "POWER_USERS_SCHEMA",
+    "query_text",
+    "USERS_SCHEMA",
+    "VARIANT_FAMILIES",
+]

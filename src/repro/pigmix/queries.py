@@ -1,0 +1,238 @@
+"""PigMix queries L2-L8, L11 and the paper's variants.
+
+Written against the flattened table schemas of
+:mod:`repro.pigmix.datagen`, in the shapes the paper evaluates:
+
+* L2 — selective join with power_users (one MR job, Figure 2's shape);
+* L3 — big join + group/SUM (two MR jobs, Figure 3; the paper's Q2);
+* L4 — per-user distinct-action counts (authentic nested-FOREACH form:
+  ``distinct`` inside the FOREACH block);
+* L5 — anti-join via COGROUP + COUNT == 0 (tiny output, Table 1);
+* L6 — wide group by (user, query_term) + SUM (the expensive Group whose
+  materialized output is large under the Aggressive heuristic);
+* L7 — nested morning/afternoon split: two inner FILTERs over the grouped
+  bag, counted per user (authentic PigMix form);
+* L8 — GROUP ALL with COUNT/SUM/AVG (single-row output);
+* L11 — DISTINCT users from two tables, UNION, outer DISTINCT (three MR
+  jobs, one depending on the other two — Section 7.1).
+
+Variants: L3a-c change the aggregate (the join job is shared); L11a-d
+change which datasets are combined (subsets of the DISTINCT jobs are
+shared).
+"""
+
+
+class PigMixPaths:
+    """Dataset and output locations for one benchmark run."""
+
+    def __init__(self, prefix="/data", out_prefix="/out"):
+        self.page_views = f"{prefix}/page_views"
+        self.users = f"{prefix}/users"
+        self.power_users = f"{prefix}/power_users"
+        self.out_prefix = out_prefix
+
+    def out(self, name):
+        return f"{self.out_prefix}/{name}"
+
+
+_PAGE_VIEWS_AS = (
+    "(user:chararray, action:int, timespent:int, query_term:chararray, "
+    "ip_addr:chararray, timestamp:int, estimated_revenue:double, "
+    "page_info:chararray, page_links:chararray)"
+)
+_USERS_AS = (
+    "(name:chararray, phone:chararray, address:chararray, city:chararray, "
+    "state:chararray, zip:chararray)"
+)
+
+
+def _load_page_views(paths):
+    return f"A = load '{paths.page_views}' as {_PAGE_VIEWS_AS};\n"
+
+
+def l2(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, estimated_revenue;
+alpha = load '{paths.power_users}' as {_USERS_AS};
+beta = foreach alpha generate name;
+C = join beta by name, B by user parallel 40;
+store C into '{paths.out("L2_out")}';
+"""
+    )
+
+
+def _l3_with_aggregate(paths, aggregate, out_name):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, estimated_revenue;
+alpha = load '{paths.users}' as {_USERS_AS};
+beta = foreach alpha generate name;
+C = join beta by name, B by user parallel 40;
+D = group C by $0 parallel 40;
+E = foreach D generate group, {aggregate}(C.estimated_revenue);
+store E into '{paths.out(out_name)}';
+"""
+    )
+
+
+def l3(paths):
+    return _l3_with_aggregate(paths, "SUM", "L3_out")
+
+
+def l3a(paths):
+    return _l3_with_aggregate(paths, "AVG", "L3a_out")
+
+
+def l3b(paths):
+    return _l3_with_aggregate(paths, "COUNT", "L3b_out")
+
+
+def l3c(paths):
+    return _l3_with_aggregate(paths, "MIN", "L3c_out")
+
+
+def l4(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, action;
+C = group B by user parallel 40;
+D = foreach C {{
+    aleph = B.action;
+    gen = distinct aleph;
+    generate group, COUNT(gen);
+}};
+store D into '{paths.out("L4_out")}';
+"""
+    )
+
+
+def l5(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user;
+alpha = load '{paths.users}' as {_USERS_AS};
+beta = foreach alpha generate name;
+C = cogroup B by user, beta by name parallel 40;
+D = filter C by COUNT(beta) == 0 and COUNT(B) > 0;
+E = foreach D generate group;
+store E into '{paths.out("L5_out")}';
+"""
+    )
+
+
+def l6(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, action, timespent, query_term;
+C = group B by (user, query_term) parallel 40;
+D = foreach C generate flatten(group), SUM(B.timespent);
+store D into '{paths.out("L6_out")}';
+"""
+    )
+
+
+def l7(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, timestamp;
+C = group B by user parallel 40;
+D = foreach C {{
+    morning = filter B by timestamp < 43200;
+    afternoon = filter B by timestamp >= 43200;
+    generate group, COUNT(morning), COUNT(afternoon);
+}};
+store D into '{paths.out("L7_out")}';
+"""
+    )
+
+
+def l8(paths):
+    return (
+        _load_page_views(paths)
+        + f"""B = foreach A generate user, timespent, estimated_revenue;
+C = group B all;
+D = foreach C generate COUNT(B), SUM(B.timespent), AVG(B.estimated_revenue);
+store D into '{paths.out("L8_out")}';
+"""
+    )
+
+
+def _l11_union(paths, first, second, out_name):
+    sources = {
+        "page_views": (
+            _load_page_views(paths) + "B = foreach A generate user;\n",
+            "B",
+        ),
+        "users": (
+            f"alpha = load '{paths.users}' as {_USERS_AS};\n"
+            "beta = foreach alpha generate name;\n",
+            "beta",
+        ),
+        "power_users": (
+            f"rho = load '{paths.power_users}' as {_USERS_AS};\n"
+            "sigma = foreach rho generate name;\n",
+            "sigma",
+        ),
+    }
+    text = ""
+    distinct_aliases = []
+    for index, source in enumerate((first, second)):
+        load_text, alias = sources[source]
+        text += load_text
+        distinct_alias = f"d{index}"
+        text += f"{distinct_alias} = distinct {alias} parallel 40;\n"
+        distinct_aliases.append(distinct_alias)
+    text += f"U = union {', '.join(distinct_aliases)};\n"
+    text += "E = distinct U parallel 40;\n"
+    text += f"store E into '{paths.out(out_name)}';\n"
+    return text
+
+
+def l11(paths):
+    return _l11_union(paths, "page_views", "users", "L11_out")
+
+
+def l11a(paths):
+    return _l11_union(paths, "page_views", "power_users", "L11a_out")
+
+
+def l11b(paths):
+    return _l11_union(paths, "users", "power_users", "L11b_out")
+
+
+def l11c(paths):
+    return _l11_union(paths, "power_users", "page_views", "L11c_out")
+
+
+def l11d(paths):
+    return _l11_union(paths, "power_users", "users", "L11d_out")
+
+
+#: The Section 7.2/7.3 query set (Figures 10-14, Table 1).
+ALL_QUERIES = {
+    "L2": l2,
+    "L3": l3,
+    "L4": l4,
+    "L5": l5,
+    "L6": l6,
+    "L7": l7,
+    "L8": l8,
+    "L11": l11,
+}
+
+#: The Section 7.1/7.4 variant families (Figures 9 and 15): base query
+#: first; variants share whole jobs with the base.
+VARIANT_FAMILIES = {
+    "L3": {"L3": l3, "L3a": l3a, "L3b": l3b, "L3c": l3c},
+    "L11": {"L11": l11, "L11a": l11a, "L11b": l11b, "L11c": l11c, "L11d": l11d},
+}
+
+
+def query_text(name, paths=None):
+    """Query text by name ("L2".."L11d")."""
+    paths = paths or PigMixPaths()
+    for table in (ALL_QUERIES, VARIANT_FAMILIES["L3"], VARIANT_FAMILIES["L11"]):
+        if name in table:
+            return table[name](paths)
+    raise KeyError(f"unknown PigMix query {name!r}")

@@ -1,0 +1,46 @@
+"""ReStore: reusing results of MapReduce jobs (the paper's contribution).
+
+The three components of Figure 7:
+
+* **plan matcher and rewriter** (:mod:`repro.restore.matcher`,
+  :mod:`repro.restore.rewriter`) — rewrites each input job to reuse stored
+  job outputs, including whole-job elimination;
+* **sub-job enumerator** (:mod:`repro.restore.enumerator` with the
+  heuristics of :mod:`repro.restore.heuristics`) — injects Split + Store
+  operators to materialize sub-job outputs;
+* **enumerated sub-job selector** (:mod:`repro.restore.selector`) — decides
+  from execution statistics which outputs to keep and when to evict.
+
+:class:`repro.restore.ReStore` wires them into the JobControl loop exactly
+as Section 6.2 describes.
+"""
+
+from repro.restore.heuristics import (
+    AggressiveHeuristic,
+    ConservativeHeuristic,
+    NoHeuristic,
+)
+from repro.restore.manager import ReStore, ReStoreReport
+from repro.restore.matcher import find_containment, pairwise_plan_traversal
+from repro.restore.persistence import load_repository, save_repository
+from repro.restore.repository import Repository, RepositoryEntry
+from repro.restore.selector import (
+    HeuristicRetentionPolicy,
+    KeepEverythingPolicy,
+)
+
+__all__ = [
+    "AggressiveHeuristic",
+    "ConservativeHeuristic",
+    "find_containment",
+    "HeuristicRetentionPolicy",
+    "KeepEverythingPolicy",
+    "load_repository",
+    "NoHeuristic",
+    "pairwise_plan_traversal",
+    "save_repository",
+    "Repository",
+    "RepositoryEntry",
+    "ReStore",
+    "ReStoreReport",
+]

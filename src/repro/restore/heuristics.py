@@ -1,0 +1,57 @@
+"""Sub-job selection heuristics (paper Section 4).
+
+Which physical operators' outputs are worth materializing as sub-jobs:
+
+* **Conservative (HC)** — operators known to reduce their input size:
+  Project (our POForEach) and Filter. Low overhead, lower reuse benefit.
+* **Aggressive (HA)** — HC plus operators known to be expensive: Join,
+  Group, and CoGroup. The paper's default: highest benefit, some risk
+  (e.g. its L6 stores a large Group output through few reducers).
+* **No Heuristic (NH)** — materialize after *every* operator; the paper's
+  upper-bound strawman: strictly more storage and overhead than HA with no
+  extra benefit (Figures 13-14).
+"""
+
+_NEVER = frozenset({"load", "store", "split"})
+
+_CONSERVATIVE = frozenset({"foreach", "filter"})
+_AGGRESSIVE = _CONSERVATIVE | frozenset({"join", "group", "cogroup"})
+
+
+class SubJobHeuristic:
+    """Decides which operators' outputs to materialize."""
+
+    name = "abstract"
+
+    def should_materialize(self, op):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class ConservativeHeuristic(SubJobHeuristic):
+    """Materialize after input-reducing operators (Project, Filter)."""
+
+    name = "conservative"
+
+    def should_materialize(self, op):
+        return op.kind in _CONSERVATIVE
+
+
+class AggressiveHeuristic(SubJobHeuristic):
+    """Materialize after input-reducing AND expensive operators."""
+
+    name = "aggressive"
+
+    def should_materialize(self, op):
+        return op.kind in _AGGRESSIVE
+
+
+class NoHeuristic(SubJobHeuristic):
+    """Materialize after every physical operator (the NH strawman)."""
+
+    name = "no-heuristic"
+
+    def should_materialize(self, op):
+        return op.kind not in _NEVER

@@ -1,0 +1,259 @@
+"""The ReStore manager: Section 6.2's extension of the JobControl loop.
+
+For every job that becomes ready, in order:
+
+1. stamp the versions of the datasets its Loads read,
+2. **match & rewrite** against the repository (repeating the sequential
+   scan after every successful rewrite, paper Section 3),
+3. simplify: stores whose input degenerated to a bare Load are removed
+   (whole-job reuse — dependents are rewired onto the stored output;
+   final user outputs become cheap copy jobs),
+4. **enumerate sub-jobs** and inject Split+Store per the heuristic,
+5. execute; afterwards register the job's outputs and the materialized
+   sub-jobs in the repository with their execution statistics, subject to
+   the retention policy's admission rules.
+
+One logical-clock tick per submitted workflow drives reuse windows.
+"""
+
+import itertools
+
+from repro.common import LogicalClock
+from repro.mrcompiler.jobcontrol import JobControl
+from repro.physical.operators import POLoad, POStore
+from repro.physical.plan import PhysicalPlan
+from repro.restore.enumerator import enumerate_and_inject
+from repro.restore.heuristics import AggressiveHeuristic
+from repro.restore.matcher import find_containment
+from repro.restore.repository import Repository, RepositoryEntry
+from repro.restore.rewriter import apply_rewrite, classify_copy_stores, restamp_stages
+from repro.restore.selector import KeepEverythingPolicy
+from repro.restore.stats import EntryStats
+
+
+class ReStoreReport:
+    """What ReStore did while executing one workflow."""
+
+    def __init__(self, workflow_name):
+        self.workflow_name = workflow_name
+        self.rewrites = []            # (job_id, entry_id)
+        self.eliminated_jobs = []     # job_ids fully served from the repository
+        self.injected_stores = []     # (job_id, operator_kind, path)
+        self.registered_entries = []  # entry ids added this run
+        self.rejected_candidates = [] # paths rejected by the retention policy
+        self.evicted_entries = []     # entry ids removed by the sweep
+
+    @property
+    def num_rewrites(self):
+        return len(self.rewrites)
+
+    def describe(self):
+        return (
+            f"ReStore[{self.workflow_name}]: {self.num_rewrites} rewrite(s), "
+            f"{len(self.eliminated_jobs)} job(s) eliminated, "
+            f"{len(self.injected_stores)} store(s) injected, "
+            f"{len(self.registered_entries)} entr(ies) registered, "
+            f"{len(self.evicted_entries)} evicted"
+        )
+
+
+class ReStore(JobControl):
+    """ReStore on top of the MapReduce engine.
+
+    Parameters mirror the system's knobs:
+
+    * ``heuristic`` — sub-job selection (:class:`AggressiveHeuristic` is
+      the paper's default); pass None to disable sub-job materialization;
+    * ``retention`` — admission/eviction policy (paper default stores
+      everything);
+    * ``enable_rewrite`` / ``enable_registration`` — turn the matcher or
+      the repository population off (used by the experiments to measure
+      overhead and no-reuse baselines).
+    """
+
+    MATERIALIZED_PREFIX = "/restore/materialized"
+
+    #: sentinel: "use the paper's default heuristic" (None disables sub-jobs)
+    _DEFAULT = object()
+
+    _instance_ids = itertools.count(1)
+
+    def __init__(self, dfs, cost_model, repository=None, heuristic=_DEFAULT,
+                 retention=None, clock=None, enable_rewrite=True,
+                 enable_registration=True, register_whole_jobs=True,
+                 register_final_outputs=True):
+        super().__init__(dfs, cost_model, keep_temps=True)
+        self.repository = repository if repository is not None else Repository()
+        self.heuristic = AggressiveHeuristic() if heuristic is self._DEFAULT else heuristic
+        self.retention = retention or KeepEverythingPolicy()
+        self.clock = clock or LogicalClock()
+        self.enable_rewrite = enable_rewrite
+        self.enable_registration = enable_registration
+        #: register outputs of whole jobs (intermediate temps and, when
+        #: ``register_final_outputs`` also holds, user-facing outputs)
+        self.register_whole_jobs = register_whole_jobs
+        self.register_final_outputs = register_final_outputs
+        self.last_report = None
+        # Each manager materializes under its own directory so that several
+        # ReStore instances sharing one DFS never overwrite each other.
+        self._mat_prefix = f"{self.MATERIALIZED_PREFIX}/r{next(self._instance_ids)}"
+        self._mat_counter = itertools.count(1)
+        self._pending_candidates = {}
+        self._kept_paths = set()
+        self._discard_paths = []
+
+    # Public API ------------------------------------------------------------
+
+    def submit(self, workflow):
+        """Execute ``workflow`` with reuse; returns the WorkflowResult.
+
+        ``self.last_report`` describes the rewrites/registrations made.
+        """
+        self.clock.tick()
+        self.last_report = ReStoreReport(workflow.name)
+        self._discard_paths = []
+        result = self.run(workflow)
+        for path in self._discard_paths:
+            if path not in self._kept_paths:
+                self.dfs.delete_if_exists(path)
+        evicted = self.retention.sweep(self.repository, self.dfs, self.clock)
+        self.last_report.evicted_entries.extend(entry.entry_id for entry in evicted)
+        return result
+
+    # JobControl hooks ---------------------------------------------------------
+
+    def prepare_job(self, job, workflow, result):
+        self._stamp_load_versions(job)
+        if self.enable_rewrite:
+            self._match_and_rewrite(job)
+        if not self._simplify(job, workflow):
+            return False
+        if self.heuristic is not None:
+            candidates = enumerate_and_inject(job, self.heuristic,
+                                              self._allocate_materialized_path)
+            self._pending_candidates[job.job_id] = candidates
+            self.last_report.injected_stores.extend(
+                (job.job_id, candidate.operator.kind, candidate.path)
+                for candidate in candidates
+            )
+        return True
+
+    def after_job(self, job, run_result, executed):
+        if not executed or not self.enable_registration:
+            self._pending_candidates.pop(job.job_id, None)
+            return
+        for store in job.plan.stores():
+            if store.injected:
+                continue
+            if not self.register_whole_jobs:
+                continue
+            if not store.temporary and not self.register_final_outputs:
+                continue
+            self._register_store(job, store, run_result)
+        for candidate in self._pending_candidates.pop(job.job_id, []):
+            self._register_candidate(job, candidate, run_result)
+
+    # Matching & rewriting -------------------------------------------------------
+
+    def _stamp_load_versions(self, job):
+        for load in job.loads():
+            if self.dfs.exists(load.path):
+                load.version = self.dfs.status(load.path).version
+
+    def _match_and_rewrite(self, job):
+        """Scan the repository; rewrite on the first match; rescan until
+        no plan matches (paper Section 3)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for entry in self.repository.scan():
+                if not self.dfs.exists(entry.output_path):
+                    continue
+                match = find_containment(entry.plan, job.plan)
+                if match is None:
+                    continue
+                apply_rewrite(job, match, entry, self.dfs)
+                entry.stats.record_use(self.clock.now())
+                self.last_report.rewrites.append((job.job_id, entry.entry_id))
+                progressed = True
+                break
+
+    def _simplify(self, job, workflow):
+        """Drop copy stores; eliminate the job when nothing remains.
+
+        Returns False when the job is fully served from stored outputs.
+        """
+        removable, _ = classify_copy_stores(job)
+        if not removable:
+            return True
+        if len(removable) == len(job.plan.sinks):
+            for store, load in removable:
+                self._rewire_dependents(workflow, store.path, load.path)
+            self.last_report.eliminated_jobs.append(job.job_id)
+            return False
+        for store, load in removable:
+            job.plan.remove_sink(store)
+            self._rewire_dependents(workflow, store.path, load.path)
+        restamp_stages(job)
+        return True
+
+    def _rewire_dependents(self, workflow, old_path, new_path):
+        """Point every load of ``old_path`` in the workflow at ``new_path``
+        (versions are stamped when the reading job is prepared)."""
+        for other in workflow.jobs:
+            for load in other.loads():
+                if load.path == old_path:
+                    load.path = new_path
+
+    # Registration --------------------------------------------------------------
+
+    def _allocate_materialized_path(self):
+        return f"{self._mat_prefix}/m{next(self._mat_counter)}"
+
+    def _register_store(self, job, store, run_result):
+        source = store.inputs[0]
+        entry = self._build_entry(job, source, store.path, run_result,
+                                  owns_file=store.temporary, origin="whole-job")
+        if entry is not None:
+            self._admit(entry, store.path)
+
+    def _register_candidate(self, job, candidate, run_result):
+        entry = self._build_entry(job, candidate.operator, candidate.path,
+                                  run_result, owns_file=True, origin="sub-job")
+        if entry is not None:
+            self._admit(entry, candidate.path)
+        else:
+            self._discard_paths.append(candidate.path)
+
+    def _build_entry(self, job, frontier_op, output_path, run_result, owns_file,
+                     origin):
+        clone, _ = job.plan.clone_subgraph(frontier_op)
+        if isinstance(clone, POLoad):
+            return None  # trivial Load->Store plans are never useful
+        entry_store = POStore(clone, output_path)
+        entry_plan = PhysicalPlan([entry_store])
+        if self.repository.find_equivalent(entry_plan) is not None:
+            self._kept_paths.add(output_path)  # already represented
+            return None
+        stats = EntryStats(
+            input_bytes=run_result.stats.map_input_bytes,
+            output_bytes=self.dfs.file_size(output_path) if self.dfs.exists(output_path) else 0,
+            producing_job_time=run_result.execution_time,
+            map_time=run_result.breakdown.t_load,
+            reduce_time=run_result.breakdown.t_store,
+            created_tick=self.clock.now(),
+        )
+        versions = {load.path: load.version for load in entry_plan.loads()}
+        return RepositoryEntry(entry_plan, output_path, stats,
+                               input_versions=versions, owns_file=owns_file,
+                               origin=origin)
+
+    def _admit(self, entry, path):
+        if self.retention.should_keep(entry, self.cost_model):
+            self.repository.insert(entry)
+            self._kept_paths.add(path)
+            self.last_report.registered_entries.append(entry.entry_id)
+        else:
+            self.last_report.rejected_candidates.append(path)
+            if entry.owns_file:
+                self._discard_paths.append(path)

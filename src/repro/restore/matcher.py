@@ -1,0 +1,149 @@
+"""Plan containment matching — the core of the plan matcher & rewriter.
+
+A repository plan *matches* an input MapReduce job if it is **contained**
+in the job's physical plan (paper Section 3). Containment is built on
+operator equivalence:
+
+    two operators are equivalent iff (1) their inputs are pipelined from
+    equivalent operators or the same data sets, and (2) they perform
+    functions that produce the same output data.
+
+(1) is the recursive input check; (2) is signature equality — signatures
+are canonical and position-based (see :mod:`repro.physical.operators`), so
+names chosen by different queries do not matter. Load signatures embed the
+dataset path *and version*, which realizes "the same data sets".
+
+Two entry points:
+
+* :func:`find_containment` — the containment test used by ReStore proper;
+  returns the repo-op -> input-op mapping on success.
+* :func:`pairwise_plan_traversal` — a faithful transcription of the
+  paper's Algorithm 1 (simultaneous depth-first traversal over successor
+  sets). It is equivalent on the plans ReStore produces and is kept both
+  as executable documentation and as a cross-check (property-tested
+  against :func:`find_containment`).
+"""
+
+from repro.physical.operators import POStore
+
+
+class Match:
+    """A successful containment of ``entry_plan`` in an input plan."""
+
+    __slots__ = ("mapping", "frontier")
+
+    def __init__(self, mapping, frontier):
+        #: maps id(repo op) -> input op, for every non-Store repo op
+        self.mapping = mapping
+        #: the input-plan operator equivalent to the repo plan's last
+        #: operator before its Store — the point whose output the stored
+        #: file materializes.
+        self.frontier = frontier
+
+    def matched_input_ops(self):
+        return list(self.mapping.values())
+
+
+def _skip_splits(op):
+    """Splits are transparent for equivalence (pure pass-through)."""
+    while op.kind == "split":
+        op = op.inputs[0]
+    return op
+
+
+def _equivalent(repo_op, input_op, memo):
+    input_op = _skip_splits(input_op)
+    key = (id(repo_op), id(input_op))
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if repo_op.signature() != input_op.signature():
+        memo[key] = False
+        return False
+    if len(repo_op.inputs) != len(input_op.inputs):
+        memo[key] = False
+        return False
+    result = all(
+        _equivalent(repo_parent, input_parent, memo)
+        for repo_parent, input_parent in zip(repo_op.inputs, input_op.inputs)
+    )
+    memo[key] = result
+    return result
+
+
+def _repo_frontier(entry_plan):
+    """The repo plan's last operator before its Store."""
+    stores = entry_plan.stores()
+    if len(stores) != 1:
+        raise ValueError(f"repository plans must have exactly one Store, got {len(stores)}")
+    return _skip_splits(stores[0].inputs[0])
+
+
+def _build_mapping(repo_frontier, input_frontier):
+    mapping = {}
+
+    def walk(repo_op, input_op):
+        input_op = _skip_splits(input_op)
+        if id(repo_op) in mapping:
+            return
+        mapping[id(repo_op)] = input_op
+        for repo_parent, input_parent in zip(repo_op.inputs, input_op.inputs):
+            walk(repo_parent, input_parent)
+
+    walk(repo_frontier, input_frontier)
+    return mapping
+
+
+def find_containment(entry_plan, input_plan):
+    """Test whether ``entry_plan`` is contained in ``input_plan``.
+
+    Returns a :class:`Match` (repo-op mapping plus the input-plan frontier
+    operator) or None. Candidate frontiers are tried in topological order,
+    so the result is deterministic; Store operators and bare Loads are
+    never frontiers (reusing a stored output to replace a plain Load would
+    be a no-op rewrite).
+    """
+    repo_frontier = _repo_frontier(entry_plan)
+    memo = {}
+    for candidate in input_plan.operators():
+        if isinstance(candidate, POStore):
+            continue
+        if candidate.kind in ("load", "split"):
+            continue
+        if _equivalent(repo_frontier, candidate, memo):
+            return Match(_build_mapping(repo_frontier, candidate), candidate)
+    return None
+
+
+def contains(entry_plan, input_plan):
+    """Boolean form of :func:`find_containment` (used for subsumption)."""
+    return find_containment(entry_plan, input_plan) is not None
+
+
+# --- Algorithm 1, transcribed -------------------------------------------------
+
+
+def pairwise_plan_traversal(input_plan, entry_plan):
+    """The paper's Algorithm 1 as a containment predicate.
+
+    Algorithm 1 traverses both plans simultaneously from their Load
+    operators, pairing each repository operator with an equivalent input
+    operator (``findEquivalentOP``), and declares a match when *all*
+    repository operators have equivalents. Operator equivalence already
+    recurses over inputs ("inputs pipelined from equivalent operators or
+    the same data sets"), so the traversal's success criterion reduces to:
+    every non-Store repository operator has an input-consistent equivalent
+    somewhere downstream of a matching input Load — which is what this
+    implementation checks. It is property-tested to agree with
+    :func:`find_containment`.
+    """
+    memo = {}
+    input_ops = [
+        op for op in input_plan.operators() if not isinstance(op, POStore)
+    ]
+    for repo_op in entry_plan.operators():
+        if isinstance(repo_op, POStore):
+            continue  # the repo Store is the materialization point
+        if not any(_equivalent(repo_op, candidate, memo) for candidate in input_ops):
+            return False
+    return True

@@ -1,0 +1,170 @@
+"""Repository persistence: survive a ReStore restart.
+
+The paper's repository is durable state ("Facebook stores the result of
+any query ... for seven days"); this module saves/loads it through the
+DFS itself.
+
+Plan matching needs only operator **signatures and DAG structure** — not
+executable closures — so entries are serialized as *skeleton plans*: one
+record per operator carrying its kind, canonical signature, schema, and
+input edges. A reloaded repository matches and rewrites exactly like the
+original (rewriting takes its schema from the *input* plan's frontier, so
+skeletons never need to execute). Statistics, input versions, ownership,
+and provenance round-trip too.
+"""
+
+import json
+
+from repro.common.errors import RepositoryError
+from repro.data.schema import Field, Schema
+from repro.data.types import DataType
+from repro.physical.operators import PhysOp, POStore
+from repro.physical.plan import PhysicalPlan
+from repro.restore.repository import Repository, RepositoryEntry
+from repro.restore.stats import EntryStats
+
+
+class SkeletonOp(PhysOp):
+    """A deserialized operator: fixed signature, no executable payload."""
+
+    def __init__(self, kind, signature, schema, inputs):
+        super().__init__(inputs, schema)
+        self.kind = kind
+        self._signature = signature
+
+    def signature(self):
+        return self._signature
+
+    def copy_with_inputs(self, inputs):
+        return self._carry(
+            SkeletonOp(self.kind, self._signature, self.schema, list(inputs))
+        )
+
+
+# --- Schema (de)serialization ---------------------------------------------------
+
+
+def schema_to_json(schema):
+    if schema is None:
+        return None
+    return [
+        {
+            "name": field.name,
+            "dtype": field.dtype.value,
+            "element": schema_to_json(field.element),
+        }
+        for field in schema.fields
+    ]
+
+
+def schema_from_json(data):
+    if data is None:
+        return None
+    fields = [
+        Field(item["name"], DataType(item["dtype"]),
+              schema_from_json(item["element"]))
+        for item in data
+    ]
+    return Schema(fields)
+
+
+# --- Plan (de)serialization -----------------------------------------------------
+
+
+def plan_to_json(plan):
+    """Topologically-ordered operator records with input indices."""
+    operators = plan.operators()
+    index = {id(op): position for position, op in enumerate(operators)}
+    records = []
+    for op in operators:
+        records.append(
+            {
+                "kind": op.kind,
+                "signature": op.signature(),
+                "schema": schema_to_json(op.schema),
+                "inputs": [index[id(parent)] for parent in op.inputs],
+                "store_path": op.path if isinstance(op, POStore) else None,
+            }
+        )
+    return records
+
+
+def plan_from_json(records):
+    operators = []
+    for record in records:
+        inputs = [operators[i] for i in record["inputs"]]
+        if record["store_path"] is not None:
+            op = POStore(inputs[0], record["store_path"])
+        else:
+            op = SkeletonOp(record["kind"], record["signature"],
+                            schema_from_json(record["schema"]), inputs)
+        operators.append(op)
+    sinks = [op for op in operators if isinstance(op, POStore)]
+    if len(sinks) != 1:
+        raise RepositoryError(
+            f"a serialized entry plan must have exactly one Store, got {len(sinks)}"
+        )
+    return PhysicalPlan(sinks)
+
+
+# --- Repository (de)serialization ---------------------------------------------------
+
+
+def entry_to_json(entry):
+    stats = entry.stats
+    return {
+        "plan": plan_to_json(entry.plan),
+        "output_path": entry.output_path,
+        "input_versions": entry.input_versions,
+        "owns_file": entry.owns_file,
+        "origin": entry.origin,
+        "stats": {
+            "input_bytes": stats.input_bytes,
+            "output_bytes": stats.output_bytes,
+            "producing_job_time": stats.producing_job_time,
+            "map_time": stats.map_time,
+            "reduce_time": stats.reduce_time,
+            "created_tick": stats.created_tick,
+            "last_used_tick": stats.last_used_tick,
+            "use_count": stats.use_count,
+        },
+    }
+
+
+def entry_from_json(data):
+    raw = data["stats"]
+    stats = EntryStats(
+        raw["input_bytes"], raw["output_bytes"], raw["producing_job_time"],
+        map_time=raw["map_time"], reduce_time=raw["reduce_time"],
+        created_tick=raw["created_tick"],
+    )
+    stats.last_used_tick = raw["last_used_tick"]
+    stats.use_count = raw["use_count"]
+    return RepositoryEntry(
+        plan_from_json(data["plan"]),
+        data["output_path"],
+        stats,
+        input_versions=data["input_versions"],
+        owns_file=data["owns_file"],
+        origin=data["origin"],
+    )
+
+
+DEFAULT_REPOSITORY_PATH = "/restore/repository.jsonl"
+
+
+def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH):
+    """Persist the repository as one JSON line per entry (scan order)."""
+    lines = [json.dumps(entry_to_json(entry), sort_keys=True)
+             for entry in repository.scan()]
+    return dfs.write_lines(path, lines, overwrite=True)
+
+
+def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH):
+    """Rebuild a repository from a saved file; missing file -> empty."""
+    repository = Repository()
+    if not dfs.exists(path):
+        return repository
+    for line in dfs.read_lines(path):
+        repository.insert(entry_from_json(json.loads(line)))
+    return repository

@@ -1,0 +1,171 @@
+"""The ReStore repository of stored MapReduce job outputs.
+
+Each record holds (paper Section 2.2): the physical plan of the job that
+produced the output, the output's filename in the DFS, and statistics
+about the producing job and about reuse frequency.
+
+The entries are kept **partially ordered** so that a sequential scan finds
+the best match first (paper Section 3):
+
+1. a plan that subsumes another (contains all its operators) comes first;
+2. otherwise, higher input/output size ratio first, then longer producing
+   job execution time first.
+"""
+
+import itertools
+
+from repro.common.errors import RepositoryError
+from repro.restore.matcher import contains
+
+
+class RepositoryEntry:
+    """One stored job output."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, plan, output_path, stats, input_versions=None,
+                 owns_file=True, origin="whole-job"):
+        self.entry_id = f"e{next(self._ids)}"
+        #: canonical physical plan: Loads -> ... -> Store(output_path)
+        self.plan = plan
+        self.output_path = output_path
+        self.stats = stats
+        #: dataset versions read by the producing job: {path: version}
+        self.input_versions = dict(input_versions or {})
+        #: whether the DFS file belongs to ReStore (safe to delete on evict)
+        self.owns_file = owns_file
+        #: "whole-job" or "sub-job" (provenance, for reporting)
+        self.origin = origin
+
+    @property
+    def num_operators(self):
+        return len(self.plan.operators())
+
+    def describe(self):
+        return (
+            f"{self.entry_id} [{self.origin}] -> {self.output_path} "
+            f"({self.stats.output_bytes} B, ratio {self.stats.reduction_ratio:.1f})"
+        )
+
+    def __repr__(self):
+        return f"<RepositoryEntry {self.entry_id} {self.output_path}>"
+
+
+class Repository:
+    """Ordered collection of :class:`RepositoryEntry`.
+
+    ``scan()`` yields entries in match-priority order; ``insert`` keeps the
+    partial order; ``find_equivalent`` deduplicates re-registrations of the
+    same computation.
+    """
+
+    def __init__(self):
+        self._entries = []
+        self._sequence = 0
+        self._subsumption_cache = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def scan(self):
+        """Entries in the order the matcher must try them."""
+        return list(self._entries)
+
+    def entry(self, entry_id):
+        for entry in self._entries:
+            if entry.entry_id == entry_id:
+                return entry
+        raise RepositoryError(f"no entry {entry_id!r}")
+
+    def total_stored_bytes(self):
+        return sum(entry.stats.output_bytes for entry in self._entries)
+
+    # Insertion ------------------------------------------------------------
+
+    def insert(self, entry):
+        """Insert keeping the partial order.
+
+        Rule 1 (subsumption) is a hard constraint: a plan that contains
+        another's operators scans first. Containment is transitive, so the
+        strict-subsumption relation is a DAG; the scan order is its
+        topological order, with rule 2's metrics (input/output ratio, then
+        producing-job time — higher first) breaking ties among entries no
+        constraint relates.
+        """
+        entry._sequence = self._sequence
+        self._sequence += 1
+        self._entries.append(entry)
+        self._reorder()
+        return entry
+
+    def _subsumes(self, a, b):
+        """Does entry ``a``'s plan strictly contain entry ``b``'s?"""
+        key = (a.entry_id, b.entry_id)
+        cached = self._subsumption_cache.get(key)
+        if cached is None:
+            cached = contains(b.plan, a.plan) and not contains(a.plan, b.plan)
+            self._subsumption_cache[key] = cached
+        return cached
+
+    def _reorder(self):
+        """Kahn's algorithm over subsumption edges, metric-prioritized."""
+        entries = self._entries
+        blockers = {entry.entry_id: 0 for entry in entries}
+        dependents = {entry.entry_id: [] for entry in entries}
+        for a in entries:
+            for b in entries:
+                if a is not b and self._subsumes(a, b):
+                    blockers[b.entry_id] += 1
+                    dependents[a.entry_id].append(b)
+
+        def priority(entry):
+            # higher ratio first, then longer producing time, then age
+            return (-entry.stats.reduction_ratio,
+                    -entry.stats.producing_job_time,
+                    entry._sequence)
+
+        ready = sorted(
+            (entry for entry in entries if blockers[entry.entry_id] == 0),
+            key=priority,
+        )
+        ordered = []
+        while ready:
+            entry = ready.pop(0)
+            ordered.append(entry)
+            changed = False
+            for dependent in dependents[entry.entry_id]:
+                blockers[dependent.entry_id] -= 1
+                if blockers[dependent.entry_id] == 0:
+                    ready.append(dependent)
+                    changed = True
+            if changed:
+                ready.sort(key=priority)
+        if len(ordered) != len(entries):
+            raise RepositoryError("subsumption relation is cyclic (bug)")
+        self._entries = ordered
+
+    def find_equivalent(self, plan):
+        """An entry computing exactly ``plan`` (mutual containment), if any."""
+        for entry in self._entries:
+            if contains(entry.plan, plan) and contains(plan, entry.plan):
+                return entry
+        return None
+
+    # Removal --------------------------------------------------------------------
+
+    def remove(self, entry, dfs=None):
+        """Drop ``entry``; delete its file when ReStore owns it."""
+        try:
+            self._entries.remove(entry)
+        except ValueError as exc:
+            raise RepositoryError(f"{entry!r} is not in the repository") from exc
+        if dfs is not None and entry.owns_file:
+            dfs.delete_if_exists(entry.output_path)
+
+    def describe(self):
+        lines = [f"Repository: {len(self._entries)} entr(ies)"]
+        lines.extend(f"- {entry.describe()}" for entry in self._entries)
+        return "\n".join(lines)

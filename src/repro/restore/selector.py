@@ -1,0 +1,89 @@
+"""The enumerated sub-job selector: keep/evict decisions (paper Section 5).
+
+A job output earns its place in the repository when (1) reusing it can
+reduce execution time and (2) it will actually be reused. The paper's
+rules:
+
+1. keep only if the output is smaller than the input (reduces Tload);
+2. keep only if Equation 1 predicts a time reduction (the producing job
+   costs more than loading its output);
+3. evict when not reused within a window of time;
+4. evict when an input dataset was deleted or modified.
+
+The paper's own experiments store everything (:class:`KeepEverythingPolicy`,
+the default); :class:`HeuristicRetentionPolicy` implements Rules 1-4.
+"""
+
+
+class RetentionPolicy:
+    """Admission (Rules 1-2) and eviction (Rules 3-4) decisions."""
+
+    def should_keep(self, entry, cost_model):
+        """Admission check for a freshly produced candidate entry."""
+        raise NotImplementedError
+
+    def sweep(self, repository, dfs, clock):
+        """Evict stale entries; returns the list of evicted entries."""
+        raise NotImplementedError
+
+
+class KeepEverythingPolicy(RetentionPolicy):
+    """Store all candidates, evict nothing (the paper's experimental mode,
+    Section 5: "we store the outputs of all candidate jobs and sub-jobs")."""
+
+    def should_keep(self, entry, cost_model):
+        return True
+
+    def sweep(self, repository, dfs, clock):
+        return []
+
+
+class HeuristicRetentionPolicy(RetentionPolicy):
+    """The paper's four rules.
+
+    ``window_ticks`` is Rule 3's reuse window measured on ReStore's
+    logical clock (one tick per submitted workflow).
+    """
+
+    def __init__(self, window_ticks=10, require_reduction=True,
+                 require_benefit=True):
+        self.window_ticks = window_ticks
+        self.require_reduction = require_reduction
+        self.require_benefit = require_benefit
+
+    # Admission ----------------------------------------------------------
+
+    def should_keep(self, entry, cost_model):
+        stats = entry.stats
+        if self.require_reduction and stats.output_bytes >= stats.input_bytes:
+            return False  # Rule 1
+        if self.require_benefit:
+            reload_time = cost_model.estimate_load_time(stats.output_bytes)
+            if reload_time >= stats.producing_job_time:
+                return False  # Rule 2 (Equation 1 predicts no reduction)
+        return True
+
+    # Eviction -------------------------------------------------------------
+
+    def sweep(self, repository, dfs, clock):
+        evicted = []
+        changed = True
+        while changed:
+            changed = False
+            for entry in repository.scan():
+                if self._expired(entry, clock) or self._inputs_gone(entry, dfs):
+                    repository.remove(entry, dfs)
+                    evicted.append(entry)
+                    changed = True  # deletions can invalidate other entries
+                    break
+        return evicted
+
+    def _expired(self, entry, clock):
+        last_activity = max(entry.stats.last_used_tick, entry.stats.created_tick)
+        return clock.now() - last_activity > self.window_ticks  # Rule 3
+
+    def _inputs_gone(self, entry, dfs):
+        for path, version in entry.input_versions.items():
+            if not dfs.exists(path) or dfs.status(path).version != version:
+                return True  # Rule 4
+        return False

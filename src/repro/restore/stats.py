@@ -1,0 +1,50 @@
+"""Statistics attached to repository entries (paper Sections 3 and 5).
+
+For every stored job output, the repository keeps the statistics that the
+MapReduce system collected while producing it — input/output sizes, the
+execution time of the producing job — plus reuse-tracking counters used by
+the ordering rules and the eviction rules.
+"""
+
+
+class EntryStats:
+    """Execution + reuse statistics for one repository entry."""
+
+    __slots__ = (
+        "input_bytes",
+        "output_bytes",
+        "producing_job_time",
+        "map_time",
+        "reduce_time",
+        "created_tick",
+        "last_used_tick",
+        "use_count",
+    )
+
+    def __init__(self, input_bytes, output_bytes, producing_job_time,
+                 map_time=0.0, reduce_time=0.0, created_tick=0):
+        self.input_bytes = input_bytes
+        self.output_bytes = output_bytes
+        self.producing_job_time = producing_job_time
+        self.map_time = map_time
+        self.reduce_time = reduce_time
+        self.created_tick = created_tick
+        self.last_used_tick = created_tick
+        self.use_count = 0
+
+    @property
+    def reduction_ratio(self):
+        """Input bytes per output byte — ordering rule 2's first metric
+        ("the ratio between the size of the input data and output data;
+        the higher the better")."""
+        return self.input_bytes / max(1, self.output_bytes)
+
+    def record_use(self, tick):
+        self.use_count += 1
+        self.last_used_tick = max(self.last_used_tick, tick)
+
+    def __repr__(self):
+        return (
+            f"EntryStats(in={self.input_bytes}B, out={self.output_bytes}B, "
+            f"time={self.producing_job_time:.1f}s, uses={self.use_count})"
+        )

@@ -1,0 +1,25 @@
+"""The Section 7.5 synthetic workload: data-reduction sweeps.
+
+A 12-field table (Table 2's cardinalities/selectivities) plus the QP
+(projection sweep) and QF (filter sweep) query templates used for
+Figures 16 and 17.
+"""
+
+from repro.synth.datagen import (
+    FIELD_SPECS,
+    SYNTH_SCHEMA,
+    SynthConfig,
+    SynthData,
+)
+from repro.synth.templates import qf, qp, QF_FIELDS, QP_MAX_FIELDS
+
+__all__ = [
+    "FIELD_SPECS",
+    "qf",
+    "QF_FIELDS",
+    "qp",
+    "QP_MAX_FIELDS",
+    "SYNTH_SCHEMA",
+    "SynthConfig",
+    "SynthData",
+]

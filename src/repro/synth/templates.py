@@ -1,0 +1,49 @@
+"""Query templates QP and QF from Section 7.5.
+
+QP projects the first ``k`` string fields before a group/count — varying
+``k`` varies the fraction of the input the Project's stored sub-job
+output represents (~18% for one field to ~74-85% for five).
+
+QF filters with an equality predicate on one of field6..field12 — the
+field's cardinality sets the selected fraction (Table 2).
+"""
+
+from repro.synth.datagen import FIELD_SPECS, SYNTH_SCHEMA
+
+#: QP is swept over 1..5 projected fields.
+QP_MAX_FIELDS = 5
+
+#: QF is swept over these fields (one per Table 2 row).
+QF_FIELDS = [name for name, _, _ in FIELD_SPECS]
+
+_AS_CLAUSE = "(" + ", ".join(
+    f"{field.name}:{field.dtype.value}" for field in SYNTH_SCHEMA.fields
+) + ")"
+
+
+def qp(num_fields, data_path="/data/synth", out_path="/out/qp"):
+    """Query template QP with ``num_fields`` projected fields."""
+    if not 1 <= num_fields <= QP_MAX_FIELDS:
+        raise ValueError(f"QP projects 1..{QP_MAX_FIELDS} fields, got {num_fields}")
+    fields = ", ".join(f"field{i}" for i in range(1, num_fields + 1))
+    keys = fields if num_fields == 1 else f"({fields})"
+    return f"""
+A = load '{data_path}' as {_AS_CLAUSE};
+B = foreach A generate {fields};
+C = group B by {keys};
+D = foreach C generate COUNT(B);
+store D into '{out_path}';
+"""
+
+
+def qf(field_name, value=0, data_path="/data/synth", out_path="/out/qf"):
+    """Query template QF filtering ``field_name == value``."""
+    if field_name not in QF_FIELDS:
+        raise ValueError(f"QF filters one of {QF_FIELDS}, got {field_name!r}")
+    return f"""
+A = load '{data_path}' as {_AS_CLAUSE};
+B = filter A by {field_name} == {value};
+C = group B by field1;
+D = foreach C generate COUNT(B);
+store D into '{out_path}';
+"""

@@ -1,0 +1,5 @@
+"""Developer tools built on the public API (currently: EXPLAIN)."""
+
+from repro.tools.explain import explain
+
+__all__ = ["explain"]

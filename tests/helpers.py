@@ -1,0 +1,109 @@
+"""Shared fixtures/helpers for integration-style tests.
+
+Builds a tiny in-memory "cluster" (DFS + cost model) and provides the
+compile pipeline as one call, so tests read like user code.
+"""
+
+from repro.common import DeterministicRng
+from repro.data import DataType, encode_row, Field, Schema
+from repro.dfs import DistributedFileSystem
+from repro.logical import build_logical_plan
+from repro.mapreduce import ClusterConfig, CostModel, CostModelConfig
+from repro.mrcompiler import compile_to_workflow
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+
+PAGE_VIEWS_SCHEMA = Schema(
+    [
+        Field("user", DataType.CHARARRAY),
+        Field("timestamp", DataType.INT),
+        Field("est_revenue", DataType.DOUBLE),
+        Field("page_info", DataType.CHARARRAY),
+        Field("page_links", DataType.CHARARRAY),
+    ]
+)
+
+USERS_SCHEMA = Schema(
+    [
+        Field("name", DataType.CHARARRAY),
+        Field("phone", DataType.CHARARRAY),
+        Field("address", DataType.CHARARRAY),
+        Field("city", DataType.CHARARRAY),
+    ]
+)
+
+
+def make_dfs(**kwargs):
+    defaults = dict(block_size=1 << 20, replication=3, num_datanodes=14)
+    defaults.update(kwargs)
+    return DistributedFileSystem(**defaults)
+
+
+def make_cost_model(scale=1.0):
+    return CostModel(CostModelConfig(scale=scale), ClusterConfig())
+
+
+def write_rows(dfs, path, rows, schema):
+    lines = [encode_row(row, schema) for row in rows]
+    return dfs.write_lines(path, lines, overwrite=True)
+
+
+def seed_page_views(dfs, num_rows=60, num_users=10, path="/data/page_views", seed=7):
+    """Small deterministic page_views table; users drawn from u0..u{n-1}."""
+    rng = DeterministicRng(seed).substream("page_views")
+    rows = []
+    for index in range(num_rows):
+        user = f"u{rng.randint(0, num_users - 1)}"
+        timestamp = rng.randint(0, 86400)
+        revenue = round(rng.uniform(0.0, 10.0), 2)
+        rows.append((user, timestamp, revenue, f"info{index}", f"links{index}"))
+    write_rows(dfs, path, rows, PAGE_VIEWS_SCHEMA)
+    return rows
+
+
+def seed_users(dfs, num_users=10, path="/data/users", include=None, seed=7):
+    """Users table covering u0..u{n-1} (optionally only a subset)."""
+    rows = []
+    for index in range(num_users):
+        if include is not None and index not in include:
+            continue
+        rows.append((f"u{index}", f"555-{index:04d}", f"{index} Main St", "Waterloo"))
+    write_rows(dfs, path, rows, USERS_SCHEMA)
+    return rows
+
+
+def compile_query(text, name, dfs=None):
+    """Full front-end pipeline: text -> AST -> logical -> physical -> jobs."""
+    logical = build_logical_plan(parse_query(text))
+    versions = {}
+    if dfs is not None:
+        for path in {op.path for op in logical.sources()}:
+            if dfs.exists(path):
+                versions[path] = dfs.status(path).version
+    physical = logical_to_physical(logical, versions)
+    return compile_to_workflow(physical, name)
+
+
+Q1_TEXT = """
+A = load '/data/page_views' as (user:chararray, timestamp:int,
+    est_revenue:double, page_info:chararray, page_links:chararray);
+B = foreach A generate user, est_revenue;
+alpha = load '/data/users' as (name:chararray, phone:chararray,
+    address:chararray, city:chararray);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into '/out/L2_out';
+"""
+
+Q2_TEXT = """
+A = load '/data/page_views' as (user:chararray, timestamp:int,
+    est_revenue:double, page_info:chararray, page_links:chararray);
+B = foreach A generate user, est_revenue;
+alpha = load '/data/users' as (name:chararray, phone:chararray,
+    address:chararray, city:chararray);
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into '/out/L3_out';
+"""

@@ -1,0 +1,142 @@
+"""Unit + property tests for the simulated distributed file system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import LogicalClock
+from repro.common.errors import DfsError
+from repro.dfs import DistributedFileSystem
+
+
+def small_dfs(**kwargs):
+    defaults = dict(block_size=64, replication=3, num_datanodes=5)
+    defaults.update(kwargs)
+    return DistributedFileSystem(**defaults)
+
+
+class TestWriteRead:
+    def test_roundtrip(self):
+        dfs = small_dfs()
+        lines = [f"row-{i}" for i in range(10)]
+        dfs.write_lines("/data/a", lines)
+        assert dfs.read_lines("/data/a") == lines
+
+    def test_empty_file(self):
+        dfs = small_dfs()
+        status = dfs.write_lines("/empty", [])
+        assert status.size_bytes == 0
+        assert status.num_lines == 0
+        assert dfs.read_lines("/empty") == []
+        assert len(dfs.blocks_of("/empty")) == 1
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(DfsError):
+            small_dfs().write_lines("no-slash", ["x"])
+
+    def test_read_missing_raises(self):
+        with pytest.raises(DfsError):
+            small_dfs().read_lines("/missing")
+
+    def test_overwrite_requires_flag(self):
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["a"])
+        with pytest.raises(DfsError):
+            dfs.write_lines("/f", ["b"])
+        dfs.write_lines("/f", ["b"], overwrite=True)
+        assert dfs.read_lines("/f") == ["b"]
+
+
+class TestVersioning:
+    def test_version_increments_on_overwrite(self):
+        dfs = small_dfs()
+        assert dfs.write_lines("/f", ["a"]).version == 1
+        assert dfs.write_lines("/f", ["b"], overwrite=True).version == 2
+
+    def test_modification_tick_follows_clock(self):
+        clock = LogicalClock()
+        dfs = small_dfs(clock=clock)
+        first = dfs.write_lines("/f", ["a"])
+        clock.tick(5)
+        second = dfs.write_lines("/f", ["b"], overwrite=True)
+        assert first.modified_tick == 0
+        assert second.modified_tick == 5
+        assert second.created_tick == 0
+
+
+class TestBlocksAndReplication:
+    def test_multiple_blocks_created(self):
+        dfs = small_dfs(block_size=32)
+        lines = ["x" * 20 for _ in range(10)]  # 21 bytes/line on disk
+        dfs.write_lines("/big", lines)
+        blocks = dfs.blocks_of("/big")
+        assert len(blocks) > 1
+        assert sum(block.num_lines for block in blocks) == 10
+        assert sum(block.num_bytes for block in blocks) == dfs.file_size("/big")
+
+    def test_block_lines_partition_file(self):
+        dfs = small_dfs(block_size=16)
+        lines = [f"line-{i:03d}" for i in range(25)]
+        dfs.write_lines("/f", lines)
+        rebuilt = []
+        for index in range(len(dfs.blocks_of("/f"))):
+            rebuilt.extend(dfs.read_block_lines("/f", index))
+        assert rebuilt == lines
+
+    def test_replication_factor_respected(self):
+        dfs = small_dfs(replication=3)
+        dfs.write_lines("/f", ["hello"])
+        for block in dfs.blocks_of("/f"):
+            assert len(set(block.replicas)) == 3
+
+    def test_replicated_size(self):
+        dfs = small_dfs(replication=3)
+        dfs.write_lines("/f", ["hello"])  # 6 bytes with newline
+        assert dfs.file_size("/f") == 6
+        assert dfs.replicated_size("/f") == 18
+        assert dfs.total_used_bytes() == 18
+
+    def test_rejects_replication_above_cluster_size(self):
+        with pytest.raises(DfsError):
+            DistributedFileSystem(replication=6, num_datanodes=5)
+
+    def test_delete_releases_datanode_space(self):
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["hello"] * 100)
+        assert dfs.total_used_bytes() > 0
+        dfs.delete("/f")
+        assert dfs.total_used_bytes() == 0
+        assert not dfs.exists("/f")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(DfsError):
+            small_dfs().delete("/missing")
+
+    def test_delete_if_exists_is_quiet(self):
+        small_dfs().delete_if_exists("/missing")
+
+
+class TestNamespace:
+    def test_list_files_prefix(self):
+        dfs = small_dfs()
+        dfs.write_lines("/a/1", [])
+        dfs.write_lines("/a/2", [])
+        dfs.write_lines("/b/1", [])
+        assert dfs.list_files("/a/") == ["/a/1", "/a/2"]
+        assert dfs.list_files() == ["/a/1", "/a/2", "/b/1"]
+
+    def test_status_reports_sizes(self):
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["ab", "cd"])
+        status = dfs.status("/f")
+        assert status.size_bytes == 6
+        assert status.num_lines == 2
+
+
+@given(st.lists(st.text(alphabet="abcdef", max_size=12), max_size=40), st.integers(8, 128))
+def test_property_block_partition_reconstructs_file(lines, block_size):
+    dfs = DistributedFileSystem(block_size=block_size, replication=2, num_datanodes=4)
+    dfs.write_lines("/f", lines)
+    rebuilt = []
+    for index in range(len(dfs.blocks_of("/f"))):
+        rebuilt.extend(dfs.read_block_lines("/f", index))
+    assert rebuilt == lines

@@ -1,0 +1,216 @@
+"""Unit tests for expression compilation and evaluation."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.data import DataType, Field, Schema
+from repro.piglatin import ast
+from repro.piglatin.expressions import (
+    BOOLEAN,
+    compile_expression,
+    compile_predicate,
+    schema_from_load_fields,
+)
+
+
+def schema():
+    return Schema(
+        [
+            Field("user", DataType.CHARARRAY),
+            Field("ts", DataType.INT),
+            Field("revenue", DataType.DOUBLE),
+        ]
+    )
+
+
+def grouped_schema():
+    element = schema()
+    return Schema(
+        [
+            Field("group", DataType.CHARARRAY),
+            Field("C", DataType.BAG, element),
+        ]
+    )
+
+
+class TestFieldAccess:
+    def test_field_by_name(self):
+        compiled = compile_expression(ast.FieldRef("ts"), schema())
+        assert compiled.fn(("u", 5, 1.0)) == 5
+        assert compiled.dtype is DataType.INT
+        assert compiled.canonical == "$1"
+
+    def test_positional(self):
+        compiled = compile_expression(ast.PositionalRef(2), schema())
+        assert compiled.fn(("u", 5, 1.5)) == 1.5
+
+    def test_positional_out_of_range(self):
+        with pytest.raises(DataError):
+            compile_expression(ast.PositionalRef(9), schema())
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            compile_expression(ast.FieldRef("nope"), schema())
+
+    def test_canonical_is_positional_not_name_based(self):
+        # Same positions, different names -> same canonical form. This is
+        # what makes operator equivalence name-agnostic.
+        other = Schema([Field("x", DataType.CHARARRAY), Field("y", DataType.INT),
+                        Field("z", DataType.DOUBLE)])
+        a = compile_expression(ast.FieldRef("ts"), schema())
+        b = compile_expression(ast.FieldRef("y"), other)
+        assert a.canonical == b.canonical
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic_int(self):
+        expr = ast.BinaryOp("+", ast.FieldRef("ts"), ast.Literal(10))
+        compiled = compile_expression(expr, schema())
+        assert compiled.fn(("u", 5, 0.0)) == 15
+        assert compiled.dtype is DataType.INT
+
+    def test_int_division_truncates(self):
+        expr = ast.BinaryOp("/", ast.FieldRef("ts"), ast.Literal(2))
+        assert compile_expression(expr, schema()).fn(("u", 7, 0.0)) == 3
+
+    def test_division_by_zero_is_null(self):
+        expr = ast.BinaryOp("/", ast.FieldRef("ts"), ast.Literal(0))
+        assert compile_expression(expr, schema()).fn(("u", 7, 0.0)) is None
+
+    def test_null_propagates(self):
+        expr = ast.BinaryOp("*", ast.FieldRef("ts"), ast.Literal(2))
+        assert compile_expression(expr, schema()).fn(("u", None, 0.0)) is None
+
+    def test_mixed_numeric_promotes_to_double(self):
+        expr = ast.BinaryOp("+", ast.FieldRef("ts"), ast.FieldRef("revenue"))
+        assert compile_expression(expr, schema()).dtype is DataType.DOUBLE
+
+    def test_arithmetic_on_string_rejected(self):
+        expr = ast.BinaryOp("+", ast.FieldRef("user"), ast.Literal(1))
+        with pytest.raises(DataError):
+            compile_expression(expr, schema())
+
+    def test_comparison_returns_boolean(self):
+        expr = ast.BinaryOp("<", ast.FieldRef("ts"), ast.Literal(10))
+        compiled = compile_expression(expr, schema())
+        assert compiled.dtype is BOOLEAN
+        assert compiled.fn(("u", 5, 0.0)) is True
+        assert compiled.fn(("u", 15, 0.0)) is False
+
+    def test_comparison_with_null_is_null(self):
+        expr = ast.BinaryOp("==", ast.FieldRef("user"), ast.Literal("x"))
+        assert compile_expression(expr, schema()).fn((None, 1, 0.0)) is None
+
+    def test_string_int_comparison_rejected(self):
+        expr = ast.BinaryOp("<", ast.FieldRef("user"), ast.Literal(10))
+        with pytest.raises(DataError):
+            compile_expression(expr, schema())
+
+
+class TestLogical:
+    def test_and_or(self):
+        cond = ast.BinaryOp(
+            "and",
+            ast.BinaryOp(">", ast.FieldRef("ts"), ast.Literal(0)),
+            ast.BinaryOp("<", ast.FieldRef("ts"), ast.Literal(10)),
+        )
+        compiled = compile_predicate(cond, schema())
+        assert compiled.fn(("u", 5, 0.0)) is True
+        assert compiled.fn(("u", 50, 0.0)) is False
+
+    def test_null_and_false_is_false(self):
+        cond = ast.BinaryOp(
+            "and",
+            ast.BinaryOp("==", ast.FieldRef("user"), ast.Literal("x")),  # null
+            ast.BinaryOp("<", ast.FieldRef("ts"), ast.Literal(0)),        # false
+        )
+        assert compile_predicate(cond, schema()).fn((None, 5, 0.0)) is False
+
+    def test_not_of_null_is_null(self):
+        cond = ast.UnaryOp("not", ast.BinaryOp("==", ast.FieldRef("user"),
+                                               ast.Literal("x")))
+        assert compile_predicate(cond, schema()).fn((None, 5, 0.0)) is None
+
+    def test_is_null(self):
+        compiled = compile_predicate(ast.IsNull(ast.FieldRef("user")), schema())
+        assert compiled.fn((None, 1, 0.0)) is True
+        assert compiled.fn(("u", 1, 0.0)) is False
+
+    def test_predicate_must_be_boolean(self):
+        with pytest.raises(DataError):
+            compile_predicate(ast.FieldRef("ts"), schema())
+
+
+class TestAggregates:
+    def test_sum_over_bag_projection(self):
+        expr = ast.FuncCall("SUM", [ast.Deref("C", "revenue")])
+        compiled = compile_expression(expr, grouped_schema())
+        bag = (("a", 1, 2.0), ("b", 2, 3.0), ("c", 3, None))
+        assert compiled.fn(("g", bag)) == 5.0
+        assert compiled.dtype is DataType.DOUBLE
+
+    def test_sum_empty_bag_is_null(self):
+        expr = ast.FuncCall("SUM", [ast.Deref("C", "revenue")])
+        assert compile_expression(expr, grouped_schema()).fn(("g", ())) is None
+
+    def test_count_whole_bag(self):
+        expr = ast.FuncCall("COUNT", [ast.FieldRef("C")])
+        compiled = compile_expression(expr, grouped_schema())
+        assert compiled.fn(("g", (("a", 1, 1.0),))) == 1
+        assert compiled.fn(("g", ())) == 0
+
+    def test_count_distinct(self):
+        expr = ast.FuncCall("COUNT_DISTINCT", [ast.Deref("C", "user")])
+        compiled = compile_expression(expr, grouped_schema())
+        bag = (("a", 1, 1.0), ("a", 2, 2.0), ("b", 3, 3.0))
+        assert compiled.fn(("g", bag)) == 2
+
+    def test_avg_min_max(self):
+        bag = (("a", 4, 1.0), ("b", 2, 2.0))
+        row = ("g", bag)
+        gs = grouped_schema()
+        avg = compile_expression(ast.FuncCall("AVG", [ast.Deref("C", "ts")]), gs)
+        low = compile_expression(ast.FuncCall("MIN", [ast.Deref("C", "ts")]), gs)
+        high = compile_expression(ast.FuncCall("MAX", [ast.Deref("C", "ts")]), gs)
+        assert avg.fn(row) == 3.0
+        assert low.fn(row) == 2
+        assert high.fn(row) == 4
+
+    def test_aggregate_over_scalar_rejected(self):
+        expr = ast.FuncCall("SUM", [ast.FieldRef("ts")])
+        with pytest.raises(DataError):
+            compile_expression(expr, schema())
+
+    def test_deref_non_bag_rejected(self):
+        with pytest.raises(DataError):
+            compile_expression(ast.Deref("user", "x"), schema())
+
+    def test_unknown_function(self):
+        with pytest.raises(DataError):
+            compile_expression(ast.FuncCall("NOPE", [ast.FieldRef("ts")]), schema())
+
+
+class TestScalarFunctionsAndCasts:
+    def test_cast_string_to_int(self):
+        compiled = compile_expression(ast.Cast("int", ast.FieldRef("user")), schema())
+        assert compiled.fn(("42", 0, 0.0)) == 42
+
+    def test_round(self):
+        compiled = compile_expression(
+            ast.FuncCall("ROUND", [ast.FieldRef("revenue")]), schema()
+        )
+        assert compiled.fn(("u", 0, 2.6)) == 3
+
+    def test_concat(self):
+        expr = ast.FuncCall("CONCAT", [ast.FieldRef("user"), ast.Literal("!")])
+        assert compile_expression(expr, schema()).fn(("hi", 0, 0.0)) == "hi!"
+
+    def test_schema_from_load_fields(self):
+        fields = [ast.FieldSpec("a", "int"), ast.FieldSpec("b", None)]
+        result = schema_from_load_fields(fields)
+        assert result.field("a").dtype is DataType.INT
+        assert result.field("b").dtype is DataType.CHARARRAY
+
+    def test_schema_from_load_fields_bad_type(self):
+        with pytest.raises(DataError):
+            schema_from_load_fields([ast.FieldSpec("a", "blob")])

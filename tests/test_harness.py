@@ -1,0 +1,149 @@
+"""Smoke + shape tests for the experiment harness (tiny profile).
+
+These run the same code paths as the benchmark suite but on the tiny
+profile, so CI catches harness regressions quickly. Shape assertions are
+looser than the benchmarks' (tiny data is noisier).
+"""
+
+import pytest
+
+from repro.harness import (
+    fig9_whole_jobs,
+    fig10_sub_jobs,
+    fig11_overhead,
+    fig12_speedup,
+    fig13_heuristic_reuse,
+    fig14_heuristic_overhead,
+    fig15_jobs_vs_subjobs,
+    fig16_projection,
+    fig17_filter,
+    PigMixScenario,
+    PROFILES,
+    SynthScenario,
+    table1_storage,
+    table2_synth_data,
+)
+from repro.harness.reporting import (
+    arithmetic_mean,
+    ExperimentResult,
+    format_table,
+    geometric_mean,
+)
+
+
+class TestScenarios:
+    def test_pigmix_scenario_calibrates_scale(self):
+        scenario = PigMixScenario("150GB", "tiny")
+        effective = (scenario.system.dfs.file_size("/data/page_views")
+                     * scenario.scale)
+        assert effective == pytest.approx(150 * 1024**3)
+
+    def test_instances_differ_10x_in_rows(self):
+        small = PigMixScenario("15GB", "tiny")
+        large = PigMixScenario("150GB", "tiny")
+        small_rows = small.system.dfs.status("/data/page_views").num_lines
+        large_rows = large.system.dfs.status("/data/page_views").num_lines
+        assert large_rows == 10 * small_rows
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ValueError):
+            PigMixScenario("1TB", "tiny")
+
+    def test_synth_scenario(self):
+        scenario = SynthScenario("tiny")
+        assert scenario.system.dfs.exists("/data/synth")
+        assert scenario.scale > 1
+
+    def test_profiles_registered(self):
+        assert set(PROFILES) >= {"tiny", "default"}
+
+
+@pytest.mark.slow
+class TestExperimentShapes:
+    """One pass over every experiment on the tiny profile (memoized
+    sweeps make the marginal cost of each additional figure small)."""
+
+    def test_fig9_speedup_positive(self):
+        result = fig9_whole_jobs("tiny")
+        average = result.row_for("query", "average")
+        assert average["speedup"] > 2
+
+    def test_fig10_reuse_wins(self):
+        result = fig10_sub_jobs("tiny")
+        for row in result.rows:
+            assert row["reusing_min"] < row["no_reuse_min"]
+
+    def test_fig11_small_scale_overhead_higher(self):
+        result = fig11_overhead("tiny")
+        average = result.row_for("query", "average")
+        assert average["15GB"] > average["150GB"]
+
+    def test_fig12_large_scale_speedup_higher(self):
+        result = fig12_speedup("tiny")
+        average = result.row_for("query", "average")
+        assert average["150GB"] > average["15GB"]
+
+    def test_fig13_ha_matches_nh(self):
+        result = fig13_heuristic_reuse("tiny")
+        for row in result.rows:
+            assert row["HA_min"] == pytest.approx(row["NH_min"], rel=0.1)
+
+    def test_fig14_nh_never_cheaper_than_ha(self):
+        result = fig14_heuristic_overhead("tiny")
+        for row in result.rows:
+            assert row["NH_min"] >= row["HA_min"] * 0.999
+
+    def test_table1_storage_ordering(self):
+        result = table1_storage("tiny")
+        for row in result.rows:
+            assert row["HC_GB"] <= row["HA_GB"] * 1.001 <= row["NH_GB"] * 1.002
+
+    def test_fig15_whole_jobs_best(self):
+        result = fig15_jobs_vs_subjobs("tiny")
+        for row in result.rows:
+            assert row["whole_jobs_min"] <= row["HA_min"] * 1.001
+
+    def test_table2_cardinalities(self):
+        result = table2_synth_data("tiny")
+        for row in result.rows:
+            expected = 2 if row["cardinality_spec"] == 1.6 else row["cardinality_spec"]
+            assert row["cardinality_measured"] == expected
+
+    def test_fig16_monotone(self):
+        result = fig16_projection("tiny")
+        overheads = result.column("overhead")
+        assert overheads == sorted(overheads)
+
+    def test_fig17_first_point_net_win(self):
+        result = fig17_filter("tiny")
+        first = result.rows[0]
+        assert first["speedup"] > first["overhead"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 3.0}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult("x", "t", ["q", "v"],
+                                  [{"q": "a", "v": 1}, {"q": "b", "v": 2}])
+        assert result.column("v") == [1, 2]
+        assert result.row_for("q", "b") == {"q": "b", "v": 2}
+        with pytest.raises(KeyError):
+            result.row_for("q", "zzz")
+
+    def test_format_includes_paper_and_notes(self):
+        result = ExperimentResult("x", "t", ["q"], [{"q": 1}],
+                                  paper={"claim": 9.8}, notes=["scaled"])
+        text = result.format()
+        assert "claim=9.8" in text
+        assert "note: scaled" in text
+
+    def test_means(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+        assert arithmetic_mean([]) == 0
+        assert geometric_mean([1, 4]) == 2
+        assert geometric_mean([]) == 0

@@ -1,0 +1,191 @@
+"""Tests for the logical optimizer rules (semantics preserved, structure
+improved)."""
+
+import pytest
+
+from repro import PigSystem
+from repro.data import DataType, Field, Schema, encode_row
+from repro.logical import build_logical_plan
+from repro.logical import operators as lo
+from repro.logical.optimizer import (
+    DEFAULT_RULES,
+    MergeConsecutiveFilters,
+    optimize,
+    PushFilterBeforeForeach,
+)
+from repro.piglatin import parse_query
+
+
+def logical(text):
+    return build_logical_plan(parse_query(text))
+
+
+def kinds(plan):
+    return [op.kind for op in plan.operators()]
+
+
+SCHEMA = Schema([Field("x", DataType.INT), Field("y", DataType.INT),
+                 Field("z", DataType.CHARARRAY)])
+ROWS = [(1, 10, "a"), (5, 20, "b"), (9, 30, "c"), (None, 40, "d")]
+
+
+def run_both(text, out="/o"):
+    """Execute with and without optimization; return both outputs."""
+    outputs = []
+    for optimize_flag in (False, True):
+        system = PigSystem(optimize=optimize_flag)
+        lines = [encode_row(row, SCHEMA) for row in ROWS]
+        system.dfs.write_lines("/d", lines)
+        system.run(text)
+        outputs.append(system.dfs.read_lines(out))
+    return outputs
+
+
+class TestMergeConsecutiveFilters:
+    TEXT = (
+        "A = load '/d' as (x:int, y:int, z:chararray);"
+        "B = filter A by x > 2;"
+        "C = filter B by y < 35;"
+        "store C into '/o';"
+    )
+
+    def test_merges_into_one_filter(self):
+        plan = optimize(logical(self.TEXT), rules=[MergeConsecutiveFilters()])
+        assert kinds(plan).count("filter") == 1
+
+    def test_results_unchanged(self):
+        plain, optimized = run_both(self.TEXT)
+        assert plain == optimized
+        assert plain  # not vacuous
+
+    def test_triple_filter_merges_fully(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = filter A by x > 0;"
+            "C = filter B by y > 0;"
+            "D = filter C by x < 100;"
+            "store D into '/o';"
+        )
+        plan = optimize(logical(text), rules=[MergeConsecutiveFilters()])
+        assert kinds(plan).count("filter") == 1
+
+
+class TestPushFilterBeforeForeach:
+    TEXT = (
+        "A = load '/d' as (x:int, y:int, z:chararray);"
+        "B = foreach A generate x, z;"
+        "C = filter B by x > 2;"
+        "store C into '/o';"
+    )
+
+    def test_filter_moves_before_foreach(self):
+        plan = optimize(logical(self.TEXT), rules=[PushFilterBeforeForeach()])
+        order = kinds(plan)
+        assert order.index("filter") < order.index("foreach")
+
+    def test_results_unchanged(self):
+        plain, optimized = run_both(self.TEXT)
+        assert plain == optimized
+        assert plain
+
+    def test_renamed_field_reference_is_rewritten(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = foreach A generate y as speed, z;"
+            "C = filter B by speed >= 20;"
+            "store C into '/o';"
+        )
+        plan = optimize(logical(text), rules=[PushFilterBeforeForeach()])
+        order = kinds(plan)
+        assert order.index("filter") < order.index("foreach")
+        plain, optimized = run_both(text)
+        assert plain == optimized
+
+    def test_computed_item_blocks_pushdown(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = foreach A generate x + y as s, z;"
+            "C = filter B by s > 20;"
+            "store C into '/o';"
+        )
+        plan = optimize(logical(text), rules=[PushFilterBeforeForeach()])
+        order = kinds(plan)
+        # Conservative: no rewrite when the item is computed.
+        assert order.index("foreach") < order.index("filter")
+
+    def test_flatten_blocks_pushdown(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "G = group A by z;"
+            "B = foreach G generate flatten(group), COUNT(A) as n;"
+            "C = filter B by n > 0;"
+            "store C into '/o';"
+        )
+        plan = optimize(logical(text), rules=[PushFilterBeforeForeach()])
+        order = kinds(plan)
+        assert order.index("foreach") < order.index("filter")
+
+    def test_aggregate_condition_blocks_pushdown(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = foreach A generate x, y;"
+            "C = filter B by ABS(x) > 2;"
+            "store C into '/o';"
+        )
+        plan = optimize(logical(text), rules=[PushFilterBeforeForeach()])
+        order = kinds(plan)
+        assert order.index("foreach") < order.index("filter")
+
+
+class TestOptimizerDriver:
+    def test_rules_compose_to_fixpoint(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = foreach A generate x, y;"
+            "C = filter B by x > 1;"
+            "D = filter C by y > 1;"
+            "store D into '/o';"
+        )
+        plan = optimize(logical(text))
+        order = kinds(plan)
+        # Both filters merged AND pushed before the foreach.
+        assert order.count("filter") == 1
+        assert order.index("filter") < order.index("foreach")
+        plain, optimized = run_both(text)
+        assert plain == optimized
+
+    def test_noop_on_already_optimal_plan(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = filter A by x > 1;"
+            "C = foreach B generate x;"
+            "store C into '/o';"
+        )
+        before = kinds(logical(text))
+        after = kinds(optimize(logical(text)))
+        assert before == after
+
+    def test_multi_sink_plans_survive(self):
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = filter A by x > 1;"
+            "store B into '/o1';"
+            "C = foreach A generate y;"
+            "store C into '/o2';"
+        )
+        plan = optimize(logical(text))
+        assert len(plan.sinks) == 2
+
+    def test_pig_system_optimize_flag(self):
+        system = PigSystem(optimize=True)
+        lines = [encode_row(row, SCHEMA) for row in ROWS]
+        system.dfs.write_lines("/d", lines)
+        text = (
+            "A = load '/d' as (x:int, y:int, z:chararray);"
+            "B = foreach A generate x, z;"
+            "C = filter B by x > 2;"
+            "store C into '/o';"
+        )
+        workflow = system.compile(text)
+        job_kinds = [op.kind for op in workflow.jobs[0].plan.operators()]
+        assert job_kinds.index("filter") < job_kinds.index("foreach")

@@ -1,0 +1,120 @@
+"""Unit tests for the MRJob descriptor and PigMix variant correctness."""
+
+import pytest
+
+from repro import PigSystem
+from repro.common.errors import PlanError
+from repro.mapreduce.job import MRJob
+from repro.pigmix import PigMixConfig, PigMixData, PigMixPaths
+from repro.pigmix.queries import VARIANT_FAMILIES
+from repro.physical import logical_to_physical, PhysicalPlan
+from repro.physical.operators import POLoad, POStore
+from repro.logical import build_logical_plan
+from repro.piglatin import parse_query
+from repro.data import DataType, Field, Schema
+
+SCHEMA = Schema([Field("x", DataType.INT)])
+
+
+def stamped_plan():
+    load = POLoad("/d", SCHEMA)
+    load.stage = "map"
+    store = POStore(load, "/o")
+    store.stage = "map"
+    return PhysicalPlan([store])
+
+
+class TestMRJobValidation:
+    def test_requires_stage_annotations(self):
+        load = POLoad("/d", SCHEMA)
+        store = POStore(load, "/o")
+        with pytest.raises(PlanError):
+            MRJob("j", PhysicalPlan([store]))
+
+    def test_map_only_job_rejects_reduce_stage(self):
+        load = POLoad("/d", SCHEMA)
+        load.stage = "map"
+        store = POStore(load, "/o")
+        store.stage = "reduce"
+        with pytest.raises(PlanError):
+            MRJob("j", PhysicalPlan([store]), shuffle_op=None)
+
+    def test_map_only_job_accepted(self):
+        job = MRJob("j", stamped_plan())
+        assert job.parallel is None
+        assert job.input_paths() == ["/d"]
+        assert job.output_paths() == ["/o"]
+
+    def test_final_stores_exclude_temp_and_injected(self):
+        load = POLoad("/d", SCHEMA)
+        load.stage = "map"
+        user_store = POStore(load, "/o")
+        user_store.stage = "map"
+        temp_store = POStore(load, "/tmp/t", temporary=True)
+        temp_store.stage = "map"
+        injected_store = POStore(load, "/restore/m")
+        injected_store.stage = "map"
+        injected_store.injected = True
+        job = MRJob("j", PhysicalPlan([user_store, temp_store, injected_store]))
+        assert job.final_stores() == [user_store]
+
+    def test_describe_mentions_shuffle(self):
+        job = MRJob("j", stamped_plan())
+        assert "shuffle: none" in job.describe()
+
+
+class TestVariantCorrectness:
+    """The L3/L11 variants must compute what their names promise."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        system = PigSystem()
+        data = PigMixData(PigMixConfig(num_page_views=400, num_users=40,
+                                       num_power_users=8, seed=5))
+        data.install(system.dfs)
+        paths = PigMixPaths()
+        for family in VARIANT_FAMILIES.values():
+            for name, fn in family.items():
+                system.run(fn(paths), name)
+        return system, data
+
+    def test_l3_variants_agree_on_groups(self, setup):
+        system, _ = setup
+        def users_of(path):
+            return {line.split("\t")[0] for line in system.dfs.read_lines(path)}
+        base = users_of("/out/L3_out")
+        for suffix in ("a", "b", "c"):
+            assert users_of(f"/out/L3{suffix}_out") == base
+
+    def test_l3b_counts_are_integers_summing_to_join_size(self, setup):
+        system, data = setup
+        counts = [int(line.split("\t")[1])
+                  for line in system.dfs.read_lines("/out/L3b_out")]
+        users = {row[0] for row in data.users_rows()}
+        matched = sum(1 for row in data.page_views_rows() if row[0] in users)
+        assert sum(counts) == matched
+
+    def test_l3c_min_below_l3a_avg(self, setup):
+        system, _ = setup
+        avgs = {}
+        for line in system.dfs.read_lines("/out/L3a_out"):
+            user, value = line.split("\t")
+            avgs[user] = float(value)
+        for line in system.dfs.read_lines("/out/L3c_out"):
+            user, value = line.split("\t")
+            assert float(value) <= avgs[user] + 1e-9
+
+    def test_l11_variants_compute_expected_unions(self, setup):
+        system, data = setup
+        pv = {row[0] for row in data.page_views_rows()}
+        users = {row[0] for row in data.users_rows()}
+        power = {row[0] for row in data.power_users_rows()}
+        expected = {
+            "L11_out": pv | users,
+            "L11a_out": pv | power,
+            "L11b_out": users | power,
+            "L11c_out": power | pv,
+            "L11d_out": power | users,
+        }
+        for out_name, names in expected.items():
+            assert set(system.dfs.read_lines(f"/out/{out_name}")) == names

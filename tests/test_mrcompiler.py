@@ -1,0 +1,124 @@
+"""Tests for the physical-plan -> MapReduce-workflow compiler."""
+
+import pytest
+
+from repro.logical import build_logical_plan
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+from repro.mrcompiler import compile_to_workflow
+
+from tests.helpers import Q1_TEXT, Q2_TEXT
+
+
+def compile_text(text, name="wf"):
+    physical = logical_to_physical(build_logical_plan(parse_query(text)))
+    return compile_to_workflow(physical, name)
+
+
+class TestJobBoundaries:
+    def test_q1_is_one_job(self):
+        # Paper Figure 2: Q1 (load/project/join/store) is a single MR job.
+        workflow = compile_text(Q1_TEXT)
+        assert len(workflow.jobs) == 1
+        (job,) = workflow.jobs
+        assert job.shuffle_op.kind == "join"
+
+    def test_q2_is_two_jobs(self):
+        # Paper Figure 3: Q2 splits into a join job and a group job.
+        workflow = compile_text(Q2_TEXT)
+        assert len(workflow.jobs) == 2
+        shuffles = sorted(job.shuffle_op.kind for job in workflow.jobs)
+        assert shuffles == ["group", "join"]
+
+    def test_q2_group_job_depends_on_join_job(self):
+        workflow = compile_text(Q2_TEXT)
+        by_kind = {job.shuffle_op.kind: job for job in workflow.jobs}
+        assert by_kind["join"] in by_kind["group"].dependencies
+        assert by_kind["join"].dependencies == []
+
+    def test_q2_jobs_linked_by_temp_file(self):
+        workflow = compile_text(Q2_TEXT)
+        by_kind = {job.shuffle_op.kind: job for job in workflow.jobs}
+        join_outputs = set(by_kind["join"].output_paths())
+        group_inputs = set(by_kind["group"].input_paths())
+        shared = join_outputs & group_inputs
+        assert len(shared) == 1
+        assert shared <= workflow.temp_paths
+
+    def test_map_only_job(self):
+        workflow = compile_text(
+            "A = load '/d' as (x:int, y:int);"
+            "B = foreach A generate x;"
+            "C = filter B by x > 0;"
+            "store C into '/out';"
+        )
+        (job,) = workflow.jobs
+        assert job.shuffle_op is None
+        assert all(op.stage == "map" for op in job.plan.operators())
+
+    def test_l11_shape_three_jobs_one_dependent(self):
+        # Paper Section 7.1: L11's workflow is 3 jobs, one depending on the
+        # other two.
+        text = """
+        A = load '/data/page_views' as (user:chararray, ts:int);
+        B = foreach A generate user;
+        C = distinct B;
+        alpha = load '/data/users' as (name:chararray, phone:chararray);
+        beta = foreach alpha generate name;
+        gamma = distinct beta;
+        D = union C, gamma;
+        E = distinct D;
+        store E into '/out/L11_out';
+        """
+        workflow = compile_text(text)
+        assert len(workflow.jobs) == 3
+        final = [job for job in workflow.jobs if job.dependencies]
+        assert len(final) == 1
+        assert len(final[0].dependencies) == 2
+
+    def test_stage_assignment_q2(self):
+        workflow = compile_text(Q2_TEXT)
+        by_kind = {job.shuffle_op.kind: job for job in workflow.jobs}
+        join_job = by_kind["join"]
+        kinds_by_stage = {}
+        for op in join_job.plan.operators():
+            kinds_by_stage.setdefault(op.stage, []).append(op.kind)
+        assert "load" in kinds_by_stage["map"]
+        assert "foreach" in kinds_by_stage["map"]
+        assert "join" in kinds_by_stage["reduce"]
+        assert "store" in kinds_by_stage["reduce"]
+
+    def test_sort_job_forces_single_reducer(self):
+        workflow = compile_text(
+            "A = load '/d' as (x:int);"
+            "B = order A by x desc;"
+            "store B into '/out';"
+        )
+        (job,) = workflow.jobs
+        assert job.shuffle_op.kind == "sort"
+        assert job.parallel == 1
+
+    def test_parallel_hint_carried(self):
+        workflow = compile_text(
+            "A = load '/d' as (x:int);"
+            "B = group A by x parallel 40;"
+            "store B into '/out';"
+        )
+        (job,) = workflow.jobs
+        assert job.parallel == 40
+
+    def test_consecutive_blocking_ops_chain_jobs(self):
+        workflow = compile_text(
+            "A = load '/d' as (x:int, y:int);"
+            "B = group A by x;"
+            "C = foreach B generate group, COUNT(A);"
+            "D = order C by group;"
+            "store D into '/out';"
+        )
+        assert len(workflow.jobs) == 2
+
+    def test_job_ids_unique_and_prefixed(self):
+        workflow = compile_text(Q2_TEXT, name="myq")
+        ids = [job.job_id for job in workflow.jobs]
+        assert len(set(ids)) == len(ids)
+        assert all(job_id.startswith("myq-j") for job_id in ids)

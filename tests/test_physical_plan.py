@@ -1,0 +1,180 @@
+"""Unit tests for physical operators and plan surgery/cloning."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data import DataType, Field, Schema
+from repro.logical import build_logical_plan
+from repro.physical import logical_to_physical, PhysicalPlan
+from repro.physical.operators import (
+    POFilter,
+    POLoad,
+    POSplit,
+    POStore,
+)
+from repro.piglatin import parse_query
+
+from tests.helpers import Q1_TEXT, Q2_TEXT
+
+
+def physical(text):
+    return logical_to_physical(build_logical_plan(parse_query(text)))
+
+
+SCHEMA = Schema([Field("x", DataType.INT)])
+
+
+class TestSignatures:
+    def test_load_signature_includes_path_and_version(self):
+        load = POLoad("/data/t", SCHEMA, version=3)
+        assert load.signature() == "LOAD[/data/t@v3]"
+
+    def test_store_signature_hides_path(self):
+        load = POLoad("/data/t", SCHEMA)
+        a = POStore(load, "/out/a")
+        b = POStore(load, "/out/b")
+        assert a.signature() == b.signature() == "STORE"
+
+    def test_signatures_stable_across_compilations(self):
+        first = [op.signature() for op in physical(Q2_TEXT).operators()]
+        second = [op.signature() for op in physical(Q2_TEXT).operators()]
+        assert first == second
+
+    def test_join_signature_distinguishes_key_sides(self):
+        plan = physical(Q1_TEXT)
+        (join,) = [op for op in plan.operators() if op.kind == "join"]
+        assert join.signature() == "JOIN[$0|$0]"
+
+    def test_nested_foreach_signature_differs(self):
+        nested = physical("""
+        A = load '/d' as (u:chararray, v:int);
+        C = group A by u;
+        D = foreach C { x = A.v; y = distinct x; generate group, COUNT(y); };
+        store D into '/o';
+        """)
+        flat = physical("""
+        A = load '/d' as (u:chararray, v:int);
+        C = group A by u;
+        D = foreach C generate group, COUNT(A);
+        store D into '/o';
+        """)
+        nested_sigs = {op.signature() for op in nested.operators()}
+        flat_sigs = {op.signature() for op in flat.operators()}
+        assert any("inner(" in sig for sig in nested_sigs)
+        assert nested_sigs != flat_sigs
+
+
+class TestPlanStructure:
+    def test_operators_topological(self):
+        plan = physical(Q2_TEXT)
+        positions = {id(op): pos for pos, op in enumerate(plan.operators())}
+        for op in plan.operators():
+            for parent in op.inputs:
+                assert positions[id(parent)] < positions[id(op)]
+
+    def test_loads_and_stores(self):
+        plan = physical(Q1_TEXT)
+        assert {load.path for load in plan.loads()} == {
+            "/data/page_views", "/data/users"}
+        assert [store.path for store in plan.stores()] == ["/out/L2_out"]
+
+    def test_consumers_table(self):
+        plan = physical(Q1_TEXT)
+        consumers = plan.consumers()
+        (join,) = [op for op in plan.operators() if op.kind == "join"]
+        assert [op.kind for op in consumers[join]] == ["store"]
+
+    def test_validate_rejects_non_store_sink(self):
+        load = POLoad("/d", SCHEMA)
+        plan = PhysicalPlan([load])
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            PhysicalPlan([])
+
+    def test_remove_last_sink_rejected(self):
+        plan = physical(Q1_TEXT)
+        with pytest.raises(PlanError):
+            plan.remove_sink(plan.stores()[0])
+
+    def test_replace_input_unknown_edge_raises(self):
+        plan = physical(Q1_TEXT)
+        store = plan.stores()[0]
+        stranger = POLoad("/other", SCHEMA)
+        with pytest.raises(PlanError):
+            plan.replace_input(store, stranger, stranger)
+
+
+class TestCloning:
+    def test_clone_is_deep_and_equivalent(self):
+        plan = physical(Q2_TEXT)
+        clone, mapping = plan.clone()
+        assert len(clone.operators()) == len(plan.operators())
+        original_ids = {id(op) for op in plan.operators()}
+        for op in clone.operators():
+            assert id(op) not in original_ids
+        assert [op.signature() for op in clone.operators()] == [
+            op.signature() for op in plan.operators()]
+
+    def test_clone_preserves_stage_annotations(self):
+        plan = physical(Q1_TEXT)
+        for op in plan.operators():
+            op.stage = "map"
+        clone, _ = plan.clone()
+        assert all(op.stage == "map" for op in clone.operators())
+
+    def test_clone_subgraph_strips_splits(self):
+        plan = physical(Q1_TEXT)
+        (join,) = [op for op in plan.operators() if op.kind == "join"]
+        left = join.inputs[0]
+        split = POSplit(left)
+        split.injected = True
+        plan.replace_input(join, left, split)
+        clone, _ = plan.clone_subgraph(join)
+        kinds = set()
+
+        def walk(op):
+            kinds.add(op.kind)
+            for parent in op.inputs:
+                walk(parent)
+
+        walk(clone)
+        assert "split" not in kinds
+        assert "join" in kinds
+
+    def test_mutating_clone_leaves_original_alone(self):
+        plan = physical(Q1_TEXT)
+        clone, _ = plan.clone()
+        (join,) = [op for op in clone.operators() if op.kind == "join"]
+        new_load = POLoad("/stored/x", join.schema)
+        for consumer in clone.successors_of(join):
+            clone.replace_input(consumer, join, new_load)
+        assert any(op.kind == "join" for op in plan.operators())
+        assert not any(op.kind == "join" for op in clone.operators())
+
+
+class TestOperatorCopying:
+    def test_copy_with_inputs_carries_flags(self):
+        load = POLoad("/d", SCHEMA)
+        fil = POFilter(load, _TruePredicate())
+        fil.injected = True
+        fil.alias = "B"
+        copy = fil.copy_with_inputs([load])
+        assert copy.injected
+        assert copy.alias == "B"
+        assert copy.op_id != fil.op_id
+
+    def test_load_copy_rejects_inputs(self):
+        load = POLoad("/d", SCHEMA)
+        with pytest.raises(PlanError):
+            load.copy_with_inputs([load])
+
+
+class _TruePredicate:
+    canonical = "true"
+
+    @staticmethod
+    def fn(row):
+        return True

@@ -1,0 +1,95 @@
+"""Unit tests for the Pig Latin lexer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.piglatin import tokenize
+from repro.piglatin.tokens import TokenKind
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_names_and_symbols(self):
+        assert texts("A = load 'x';") == ["A", "=", "load", "x", ";"]
+
+    def test_keywords_are_names(self):
+        (token,) = tokenize("FOREACH")[:-1]
+        assert token.kind is TokenKind.NAME
+        assert token.matches_keyword("foreach")
+
+    def test_integers_and_doubles(self):
+        tokens = tokenize("42 3.25")[:-1]
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[1].kind is TokenKind.DOUBLE
+        assert tokens[1].text == "3.25"
+
+    def test_dot_after_int_is_deref_when_not_decimal(self):
+        # "B.action" style: the dot must not glue onto a number context.
+        assert texts("a.b") == ["a", ".", "b"]
+
+    def test_dollar_positional(self):
+        tokens = tokenize("$12")[:-1]
+        assert tokens[0].kind is TokenKind.DOLLAR
+        assert tokens[0].text == "12"
+
+    def test_dollar_without_digits_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("$x")
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"'a\'b'")[:-1]
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "a'b"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_double_colon_is_one_token(self):
+        assert texts("users::name") == ["users", "::", "name"]
+
+    def test_colon_in_field_spec(self):
+        assert texts("user:chararray") == ["user", ":", "chararray"]
+
+    def test_comparison_operators(self):
+        assert texts("a == b != c <= d >= e < f > g") == [
+            "a", "==", "b", "!=", "c", "<=", "d", ">=", "e", "<", "f", ">", "g"
+        ]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a ~ b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_skipped(self):
+        assert texts("a -- comment here\nb") == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n  c")[:-1]
+        assert [token.line for token in tokens] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("ok\n  ~")
+        assert excinfo.value.line == 2

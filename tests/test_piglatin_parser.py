@@ -1,0 +1,187 @@
+"""Unit tests for the Pig Latin parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.piglatin import ast, parse_query
+
+
+def single(text):
+    query = parse_query(text)
+    assert len(query.statements) == 1
+    return query.statements[0]
+
+
+class TestLoad:
+    def test_load_with_typed_fields(self):
+        stmt = single("A = load 'page_views' as (user:chararray, ts:int);")
+        assert stmt == ast.LoadStmt(
+            "A", "page_views",
+            [ast.FieldSpec("user", "chararray"), ast.FieldSpec("ts", "int")],
+        )
+
+    def test_load_untyped_fields(self):
+        stmt = single("A = load 'd' as (x, y);")
+        assert stmt.fields == (ast.FieldSpec("x", None), ast.FieldSpec("y", None))
+
+    def test_load_with_using_clause(self):
+        stmt = single("A = load 'd' using PigStorage(',') as (x);")
+        assert stmt.path == "d"
+        assert stmt.fields == (ast.FieldSpec("x", None),)
+
+
+class TestForeach:
+    def test_simple_generate(self):
+        stmt = single("B = foreach A generate user, est_revenue;")
+        assert stmt.input_alias == "A"
+        assert stmt.items == (
+            ast.GenItem(ast.FieldRef("user")),
+            ast.GenItem(ast.FieldRef("est_revenue")),
+        )
+
+    def test_generate_with_as_and_arithmetic(self):
+        stmt = single("B = foreach A generate ts / 3600 as hour;")
+        item = stmt.items[0]
+        assert item.alias == "hour"
+        assert item.expr == ast.BinaryOp("/", ast.FieldRef("ts"), ast.Literal(3600))
+
+    def test_generate_aggregate_call(self):
+        stmt = single("E = foreach D generate group, SUM(C.est_revenue);")
+        assert stmt.items[1].expr == ast.FuncCall(
+            "SUM", [ast.Deref("C", "est_revenue")]
+        )
+
+    def test_generate_flatten_group(self):
+        stmt = single("D = foreach C generate flatten(group), COUNT(B);")
+        assert stmt.items[0].flatten is True
+        assert stmt.items[0].expr == ast.FieldRef("group")
+
+    def test_positional_reference(self):
+        stmt = single("B = foreach A generate $0, $2;")
+        assert stmt.items[0].expr == ast.PositionalRef(0)
+        assert stmt.items[1].expr == ast.PositionalRef(2)
+
+
+class TestFilterAndExpressions:
+    def test_filter_comparison(self):
+        stmt = single("B = filter A by timestamp < 43200;")
+        assert stmt.condition == ast.BinaryOp(
+            "<", ast.FieldRef("timestamp"), ast.Literal(43200)
+        )
+
+    def test_boolean_precedence_or_over_and(self):
+        stmt = single("B = filter A by a == 1 and b == 2 or c == 3;")
+        assert isinstance(stmt.condition, ast.BinaryOp)
+        assert stmt.condition.op == "or"
+        assert stmt.condition.left.op == "and"
+
+    def test_not_and_is_null(self):
+        stmt = single("B = filter A by not x is null;")
+        assert stmt.condition == ast.UnaryOp("not", ast.IsNull(ast.FieldRef("x")))
+
+    def test_is_not_null(self):
+        stmt = single("B = filter A by x is not null;")
+        assert stmt.condition == ast.IsNull(ast.FieldRef("x"), negated=True)
+
+    def test_arithmetic_precedence(self):
+        stmt = single("B = foreach A generate a + b * c;")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_cast(self):
+        stmt = single("B = foreach A generate (int) ts;")
+        assert stmt.items[0].expr == ast.Cast("int", ast.FieldRef("ts"))
+
+    def test_parenthesized_expression_is_not_cast(self):
+        stmt = single("B = filter A by (x) == 1;")
+        assert stmt.condition == ast.BinaryOp("==", ast.FieldRef("x"), ast.Literal(1))
+
+    def test_qualified_field_name(self):
+        stmt = single("B = foreach A generate users::name;")
+        assert stmt.items[0].expr == ast.FieldRef("users::name")
+
+
+class TestRelationalOperators:
+    def test_join(self):
+        stmt = single("C = join beta by name, B by user;")
+        assert stmt == ast.JoinStmt(
+            "C",
+            [("beta", [ast.FieldRef("name")]), ("B", [ast.FieldRef("user")])],
+        )
+
+    def test_join_three_way_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("C = join a by x, b by y, c by z;")
+
+    def test_group_single_key(self):
+        stmt = single("D = group C by user;")
+        assert stmt.keys == (ast.FieldRef("user"),)
+
+    def test_group_composite_key(self):
+        stmt = single("D = group C by (user, query_term) parallel 40;")
+        assert stmt.keys == (ast.FieldRef("user"), ast.FieldRef("query_term"))
+        assert stmt.parallel == 40
+
+    def test_group_all(self):
+        stmt = single("D = group C all;")
+        assert stmt.keys is None
+
+    def test_group_by_positional(self):
+        stmt = single("D = group C by $0;")
+        assert stmt.keys == (ast.PositionalRef(0),)
+
+    def test_cogroup(self):
+        stmt = single("C = cogroup beta by name, B by user;")
+        assert stmt == ast.CoGroupStmt(
+            "C",
+            [("beta", [ast.FieldRef("name")]), ("B", [ast.FieldRef("user")])],
+        )
+
+    def test_distinct(self):
+        assert single("C = distinct B parallel 10;") == ast.DistinctStmt("C", "B", 10)
+
+    def test_union(self):
+        assert single("D = union C, gamma;") == ast.UnionStmt("D", ["C", "gamma"])
+
+    def test_order_by(self):
+        stmt = single("B = order A by name desc, ts;")
+        assert stmt.keys == (
+            (ast.FieldRef("name"), "desc"),
+            (ast.FieldRef("ts"), "asc"),
+        )
+
+    def test_limit(self):
+        assert single("B = limit A 10;") == ast.LimitStmt("B", "A", 10)
+
+    def test_store(self):
+        assert single("store C into 'out';") == ast.StoreStmt("C", "out")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_query("A = load 'x' as (a)")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            parse_query("A = frobnicate B;")
+
+    def test_empty_query(self):
+        with pytest.raises(ParseError):
+            parse_query("   ")
+
+    def test_whole_paper_query_q2_parses(self):
+        # Query Q2 from the paper (Section 2), verbatim modulo quoting.
+        text = """
+        A = load 'page_views' as (user, timestamp, est_revenue, page_info, page_links);
+        B = foreach A generate user, est_revenue;
+        alpha = load 'users' as (name, phone, address, city);
+        beta = foreach alpha generate name;
+        C = join beta by name, A by user;
+        D = group C by $0;
+        E = foreach D generate group, SUM(C.est_revenue);
+        store E into 'L3_out';
+        """
+        query = parse_query(text)
+        assert len(query.statements) == 8

@@ -1,0 +1,156 @@
+"""Property-based tests for ReStore's core invariants.
+
+The central one: **reuse never changes results**. A random pipeline query
+is generated, executed on a plain system and on a ReStore system twice
+(populate + reuse); all three outputs must be byte-identical.
+"""
+
+import pytest
+from hypothesis import assume, given, HealthCheck, settings, strategies as st
+
+from repro import PigSystem
+from repro.data import DataType, encode_row, Field, Schema
+from repro.logical import build_logical_plan
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
+
+SCHEMA = Schema(
+    [
+        Field("k", DataType.CHARARRAY),
+        Field("a", DataType.INT),
+        Field("b", DataType.INT),
+        Field("c", DataType.CHARARRAY),
+    ]
+)
+
+_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["x", "y", "z", "w"]),
+        st.integers(0, 50),
+        st.integers(0, 50),
+        st.sampled_from(["p", "q", "r"]),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+# A random linear pipeline: load -> transforms -> optional blocking ->
+# optional aggregate -> store.
+_transforms = st.lists(
+    st.sampled_from(
+        [
+            "{out} = filter {inp} by a > 10;",
+            "{out} = filter {inp} by b < 40;",
+            "{out} = foreach {inp} generate k, a, b, c;",
+            "{out} = foreach {inp} generate k, a + b as a, b, c;",
+            "{out} = distinct {inp};",
+        ]
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+_tails = st.sampled_from(
+    [
+        "",
+        "{out} = group {inp} by k;"
+        "{out2} = foreach {out} generate group, COUNT({inp});",
+        "{out} = group {inp} by k;"
+        "{out2} = foreach {out} generate group, SUM({inp}.a);",
+        "{out} = order {inp} by k;",
+    ]
+)
+
+
+def build_query(transforms, tail):
+    lines = ["A = load '/data/t' as (k:chararray, a:int, b:int, c:chararray);"]
+    current = "A"
+    for index, template in enumerate(transforms):
+        out = f"T{index}"
+        lines.append(template.format(inp=current, out=out))
+        current = out
+    if tail:
+        out = "G"
+        out2 = "H"
+        lines.append(tail.format(inp=current, out=out, out2=out2))
+        current = out2 if "{out2}" in tail else out
+    lines.append(f"store {current} into '/out/result';")
+    return "\n".join(lines)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=_rows, transforms=_transforms, tail=_tails)
+def test_property_reuse_preserves_results(rows, transforms, tail):
+    query = build_query(transforms, tail)
+
+    plain = PigSystem()
+    plain.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+    plain.run(query)
+    expected = plain.dfs.read_lines("/out/result")
+
+    reusing = PigSystem()
+    reusing.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+    restore = reusing.restore()
+    restore.submit(reusing.compile(query))
+    assert reusing.dfs.read_lines("/out/result") == expected
+
+    # Second submission reuses stored outputs — results must not change.
+    restore.submit(reusing.compile(query))
+    assert reusing.dfs.read_lines("/out/result") == expected
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(transforms=_transforms, tail=_tails)
+def test_property_plan_contains_itself(transforms, tail):
+    # Bare Load->Store plans are excluded: they have no valid match
+    # frontier (rewriting a Load with a Load is useless by design).
+    assume(transforms or tail)
+    query = build_query(transforms, tail)
+    plan_a = logical_to_physical(build_logical_plan(parse_query(query)))
+    plan_b = logical_to_physical(build_logical_plan(parse_query(query)))
+    assert contains(plan_a, plan_b)
+    assert pairwise_plan_traversal(plan_b, plan_a)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(transforms_a=_transforms, tail_a=_tails,
+       transforms_b=_transforms, tail_b=_tails)
+def test_property_matchers_agree(transforms_a, tail_a, transforms_b, tail_b):
+    assume(transforms_a or tail_a)  # trivial entries are never registered
+    entry = logical_to_physical(
+        build_logical_plan(parse_query(build_query(transforms_a, tail_a))))
+    target = logical_to_physical(
+        build_logical_plan(parse_query(build_query(transforms_b, tail_b))))
+    assert (find_containment(entry, target) is not None) == (
+        pairwise_plan_traversal(target, entry)
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=_rows, transforms=_transforms)
+def test_property_prefix_queries_share_work(rows, transforms):
+    """A query that extends another must be rewritten to reuse it (when
+    the prefix stores a reusable whole-job or sub-job output)."""
+    prefix_query = build_query(transforms, "")
+    extended_query = build_query(
+        transforms,
+        "{out} = group {inp} by k;"
+        "{out2} = foreach {out} generate group, COUNT({inp});",
+    ).replace("/out/result", "/out/extended")
+
+    system = PigSystem()
+    system.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+    restore = system.restore()
+    restore.submit(system.compile(prefix_query))
+    restore.submit(system.compile(extended_query))
+
+    check = PigSystem()
+    check.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+    check.run(extended_query)
+    assert (system.dfs.read_lines("/out/extended")
+            == check.dfs.read_lines("/out/extended"))

@@ -1,0 +1,169 @@
+"""Tests for plan containment matching (Algorithm 1)."""
+
+import pytest
+
+from repro.logical import build_logical_plan
+from repro.physical import logical_to_physical, PhysicalPlan
+from repro.physical.operators import POStore
+from repro.piglatin import parse_query
+from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
+
+from tests.helpers import Q1_TEXT, Q2_TEXT
+
+
+def physical(text, versions=None):
+    return logical_to_physical(build_logical_plan(parse_query(text)), versions)
+
+
+def as_entry_plan(plan):
+    """Use a query plan as a repository entry plan (it ends with a Store)."""
+    assert len(plan.stores()) == 1
+    return plan
+
+
+PROJECT_PV = """
+A = load '/data/page_views' as (user:chararray, timestamp:int,
+    est_revenue:double, page_info:chararray, page_links:chararray);
+B = foreach A generate user, est_revenue;
+store B into '/stored/pv_proj';
+"""
+
+PROJECT_USERS = """
+alpha = load '/data/users' as (name:chararray, phone:chararray,
+    address:chararray, city:chararray);
+beta = foreach alpha generate name;
+store beta into '/stored/users_proj';
+"""
+
+
+class TestContainment:
+    def test_plan_contains_itself(self):
+        q1 = physical(Q1_TEXT)
+        match = find_containment(as_entry_plan(q1), physical(Q1_TEXT))
+        assert match is not None
+        # Frontier of a full self-match is the operator feeding the store.
+        assert match.frontier.kind == "join"
+
+    def test_q1_contained_in_q2(self):
+        # The paper's example: Q1 (the join) is contained in Q2.
+        match = find_containment(physical(Q1_TEXT), physical(Q2_TEXT))
+        assert match is not None
+        assert match.frontier.kind == "join"
+
+    def test_q2_not_contained_in_q1(self):
+        assert find_containment(physical(Q2_TEXT), physical(Q1_TEXT)) is None
+
+    def test_projection_subjobs_contained_in_q1(self):
+        # Figure 5's sub-jobs match inside Q1's plan.
+        for text in (PROJECT_PV, PROJECT_USERS):
+            match = find_containment(physical(text), physical(Q1_TEXT))
+            assert match is not None
+            assert match.frontier.kind == "foreach"
+
+    def test_different_dataset_does_not_match(self):
+        other = PROJECT_PV.replace("/data/page_views", "/data/other")
+        assert find_containment(physical(other), physical(Q1_TEXT)) is None
+
+    def test_different_dataset_version_does_not_match(self):
+        entry = physical(PROJECT_PV, versions={"/data/page_views": 1})
+        newer = physical(Q1_TEXT, versions={"/data/page_views": 2})
+        assert find_containment(entry, newer) is None
+        same = physical(Q1_TEXT, versions={"/data/page_views": 1})
+        assert find_containment(entry, same) is not None
+
+    def test_different_projection_does_not_match(self):
+        entry = physical(PROJECT_PV.replace("user, est_revenue", "user, timestamp"))
+        assert find_containment(entry, physical(Q1_TEXT)) is None
+
+    def test_filter_predicate_must_match_exactly(self):
+        def filter_query(threshold):
+            return (
+                "A = load '/d' as (x:int, y:int);"
+                f"B = filter A by x > {threshold};"
+                "store B into '/o';"
+            )
+
+        assert contains(physical(filter_query(5)), physical(filter_query(5)))
+        assert not contains(physical(filter_query(5)), physical(filter_query(6)))
+
+    def test_field_names_do_not_matter_positions_do(self):
+        # Operator equivalence is positional: same function, different
+        # user-chosen names.
+        a = (
+            "A = load '/d' as (foo:chararray, bar:int);"
+            "B = foreach A generate foo;"
+            "store B into '/o1';"
+        )
+        b = (
+            "X = load '/d' as (baz:chararray, qux:int);"
+            "Y = foreach X generate baz;"
+            "store Y into '/o2';"
+        )
+        assert contains(physical(a), physical(b))
+
+    def test_join_input_order_matters(self):
+        flipped = Q1_TEXT.replace("join beta by name, B by user",
+                                  "join B by user, beta by name")
+        assert not contains(physical(Q1_TEXT), physical(flipped))
+
+    def test_frontier_is_never_a_bare_load(self):
+        # An entry that is Load->Store must not "match" another plan's Load.
+        copy_plan = physical("A = load '/d' as (x:int); store A into '/o';")
+        target = physical(
+            "A = load '/d' as (x:int); B = filter A by x > 0; store B into '/o2';"
+        )
+        assert find_containment(copy_plan, target) is None
+
+    def test_mapping_covers_all_entry_operators(self):
+        entry = physical(PROJECT_PV)
+        target = physical(Q1_TEXT)
+        match = find_containment(entry, target)
+        non_store_ops = [
+            op for op in entry.operators() if not isinstance(op, POStore)
+        ]
+        assert len(match.mapping) == len(non_store_ops)
+
+    def test_group_keys_must_match(self):
+        base = (
+            "A = load '/d' as (u:chararray, t:int);"
+            "B = group A by {key};"
+            "C = foreach B generate group, COUNT(A);"
+            "store C into '/o';"
+        )
+        by_u = physical(base.format(key="u"))
+        by_t = physical(base.format(key="t"))
+        assert not contains(by_u, by_t)
+        assert contains(by_u, physical(base.format(key="u")))
+
+    def test_aggregate_function_must_match(self):
+        base = (
+            "A = load '/d' as (u:chararray, t:int);"
+            "B = group A by u;"
+            "C = foreach B generate group, {agg}(A.t);"
+            "store C into '/o';"
+        )
+        sum_plan = physical(base.format(agg="SUM"))
+        avg_plan = physical(base.format(agg="AVG"))
+        assert not contains(sum_plan, avg_plan)
+
+    def test_shared_join_prefix_across_aggregates_matches(self):
+        # L3-variant scenario: the join is shared even when the final
+        # aggregate differs.
+        q2_avg = Q2_TEXT.replace("SUM", "AVG")
+        assert contains(physical(Q1_TEXT), physical(q2_avg))
+
+
+class TestPairwiseTraversal:
+    def test_agrees_with_find_containment_on_paper_plans(self):
+        cases = [
+            (PROJECT_PV, Q1_TEXT, True),
+            (PROJECT_USERS, Q1_TEXT, True),
+            (Q1_TEXT, Q2_TEXT, True),
+            (Q2_TEXT, Q1_TEXT, False),
+            (PROJECT_PV.replace("page_views", "other"), Q1_TEXT, False),
+        ]
+        for entry_text, input_text, expected in cases:
+            entry = physical(entry_text)
+            target = physical(input_text)
+            assert pairwise_plan_traversal(target, entry) is expected
+            assert (find_containment(entry, target) is not None) is expected

@@ -1,0 +1,142 @@
+"""Tests for repository persistence: save, reload, and reuse after restart."""
+
+import json
+
+import pytest
+
+from repro import PigSystem
+from repro.common.errors import RepositoryError
+from repro.data import DataType, Field, Schema
+from repro.restore import load_repository, save_repository
+from repro.restore.matcher import contains, find_containment
+from repro.restore.persistence import (
+    entry_from_json,
+    entry_to_json,
+    plan_from_json,
+    plan_to_json,
+    schema_from_json,
+    schema_to_json,
+)
+
+from tests.helpers import Q1_TEXT, Q2_TEXT, seed_page_views, seed_users
+
+
+def pigmix_system():
+    system = PigSystem()
+    seed_page_views(system.dfs)
+    seed_users(system.dfs, include=range(6))
+    return system
+
+
+class TestSchemaRoundtrip:
+    def test_scalar_schema(self):
+        schema = Schema([Field("a", DataType.INT), Field("b", DataType.CHARARRAY)])
+        assert schema_from_json(schema_to_json(schema)) == schema
+
+    def test_bag_schema(self):
+        element = Schema([Field("x", DataType.DOUBLE)])
+        schema = Schema([Field("g", DataType.CHARARRAY),
+                         Field("bag", DataType.BAG, element)])
+        assert schema_from_json(schema_to_json(schema)) == schema
+
+    def test_none_schema(self):
+        assert schema_from_json(schema_to_json(None)) is None
+
+
+class TestPlanRoundtrip:
+    def _entry_plan(self, system):
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT.replace(
+            "/data/users", "/data/users")))
+        return restore.repository.scan()[0].plan
+
+    def test_signatures_preserved(self):
+        system = pigmix_system()
+        # Build a real entry plan by running Q1 through ReStore.
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        plan = restore.repository.scan()[0].plan
+        reloaded = plan_from_json(plan_to_json(plan))
+        assert [op.signature() for op in reloaded.operators()] == [
+            op.signature() for op in plan.operators()]
+
+    def test_reloaded_plan_matches_like_original(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        for entry in restore.repository.scan():
+            reloaded = plan_from_json(plan_to_json(entry.plan))
+            q2 = system.compile(Q2_TEXT).topological_jobs()[0].plan
+            assert contains(entry.plan, q2) == contains(reloaded, q2)
+
+    def test_multi_store_plan_rejected(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        records = plan_to_json(restore.repository.scan()[0].plan)
+        records.append(dict(records[-1]))  # duplicate the Store record
+        with pytest.raises(RepositoryError):
+            plan_from_json(records)
+
+
+class TestEntryRoundtrip:
+    def test_stats_and_metadata_preserved(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        entry = restore.repository.scan()[0]
+        entry.stats.record_use(7)
+        reloaded = entry_from_json(json.loads(json.dumps(entry_to_json(entry))))
+        assert reloaded.output_path == entry.output_path
+        assert reloaded.origin == entry.origin
+        assert reloaded.owns_file == entry.owns_file
+        assert reloaded.input_versions == entry.input_versions
+        assert reloaded.stats.use_count == entry.stats.use_count
+        assert reloaded.stats.producing_job_time == pytest.approx(
+            entry.stats.producing_job_time)
+
+
+class TestRestartScenario:
+    def test_reuse_after_restart(self):
+        """Save after Q1; 'restart' into a fresh ReStore; Q2 still reuses."""
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        save_repository(restore.repository, system.dfs)
+
+        baseline = pigmix_system()
+        baseline.run(Q2_TEXT)
+        expected = baseline.dfs.read_lines("/out/L3_out")
+
+        # A brand-new manager with the reloaded repository.
+        reloaded_repo = load_repository(system.dfs)
+        assert len(reloaded_repo) == len(restore.repository)
+        fresh = system.restore(repository=reloaded_repo,
+                               enable_registration=False, heuristic=None)
+        fresh.submit(system.compile(Q2_TEXT))
+        assert fresh.last_report.num_rewrites >= 1
+        assert system.dfs.read_lines("/out/L3_out") == expected
+
+    def test_scan_order_preserved(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        save_repository(restore.repository, system.dfs)
+        reloaded = load_repository(system.dfs)
+        original_paths = [e.output_path for e in restore.repository.scan()]
+        reloaded_paths = [e.output_path for e in reloaded.scan()]
+        assert reloaded_paths == original_paths
+
+    def test_missing_file_loads_empty(self):
+        system = PigSystem()
+        assert len(load_repository(system.dfs)) == 0
+
+    def test_save_is_deterministic(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        save_repository(restore.repository, system.dfs, "/restore/a")
+        save_repository(restore.repository, system.dfs, "/restore/b")
+        assert (system.dfs.read_lines("/restore/a")
+                == system.dfs.read_lines("/restore/b"))

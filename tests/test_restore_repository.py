@@ -1,0 +1,160 @@
+"""Unit tests for the repository: ordering, dedup, removal, statistics."""
+
+import pytest
+
+from repro.common.errors import RepositoryError
+from repro.dfs import DistributedFileSystem
+from repro.logical import build_logical_plan
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+from repro.restore import Repository, RepositoryEntry
+from repro.restore.stats import EntryStats
+
+from tests.helpers import Q1_TEXT, Q2_TEXT
+
+
+def plan_of(text):
+    return logical_to_physical(build_logical_plan(parse_query(text)))
+
+
+PROJECT = """
+A = load '/data/page_views' as (user:chararray, timestamp:int,
+    est_revenue:double, page_info:chararray, page_links:chararray);
+B = foreach A generate user, est_revenue;
+store B into '/stored/proj';
+"""
+
+FILTERED = """
+A = load '/data/page_views' as (user:chararray, timestamp:int,
+    est_revenue:double, page_info:chararray, page_links:chararray);
+B = filter A by timestamp < 100;
+store B into '/stored/filt';
+"""
+
+
+def entry(text, output="/stored/x", input_bytes=1000, output_bytes=100,
+          time=60.0, versions=None):
+    return RepositoryEntry(
+        plan_of(text), output,
+        EntryStats(input_bytes, output_bytes, time),
+        input_versions=versions or {},
+    )
+
+
+class TestOrdering:
+    def test_subsuming_plan_scans_first_regardless_of_metrics(self):
+        repo = Repository()
+        # The projection has a (much) better ratio, but Q1 subsumes it.
+        projection = entry(PROJECT, output_bytes=1, time=1.0)
+        whole = entry(Q1_TEXT, output="/stored/q1", output_bytes=900, time=5.0)
+        repo.insert(projection)
+        repo.insert(whole)
+        assert repo.scan()[0] is whole
+
+    def test_insertion_order_does_not_matter(self):
+        for first_is_whole in (True, False):
+            repo = Repository()
+            projection = entry(PROJECT, output_bytes=1)
+            whole = entry(Q1_TEXT, output="/stored/q1", output_bytes=900)
+            if first_is_whole:
+                repo.insert(whole)
+                repo.insert(projection)
+            else:
+                repo.insert(projection)
+                repo.insert(whole)
+            assert repo.scan()[0] is whole
+
+    def test_transitive_constraint_respected_with_interloper(self):
+        # A high-ratio unrelated entry must not jump ahead of an entry it
+        # is subsumed by (regression test for naive insertion sort).
+        repo = Repository()
+        unrelated = entry(FILTERED, output="/stored/f", input_bytes=10**9,
+                          output_bytes=1)
+        projection = entry(PROJECT, output_bytes=500)
+        whole = entry(Q2_TEXT, output="/stored/q2", output_bytes=900)
+        repo.insert(whole)
+        repo.insert(projection)
+        repo.insert(unrelated)
+        order = repo.scan()
+        assert order.index(whole) < order.index(projection)
+
+    def test_unrelated_entries_ordered_by_ratio_then_time(self):
+        repo = Repository()
+        low_ratio = entry(PROJECT, input_bytes=100, output_bytes=100, time=10)
+        high_ratio = entry(FILTERED, output="/stored/f", input_bytes=1000,
+                           output_bytes=1, time=1)
+        repo.insert(low_ratio)
+        repo.insert(high_ratio)
+        assert repo.scan()[0] is high_ratio
+
+    def test_equal_ratio_breaks_by_time(self):
+        repo = Repository()
+        slow = entry(PROJECT, input_bytes=100, output_bytes=10, time=100)
+        fast = entry(FILTERED, output="/stored/f", input_bytes=100,
+                     output_bytes=10, time=5)
+        repo.insert(fast)
+        repo.insert(slow)
+        assert repo.scan()[0] is slow  # longer producing time preferred
+
+
+class TestLookupAndRemoval:
+    def test_entry_by_id(self):
+        repo = Repository()
+        stored = repo.insert(entry(PROJECT))
+        assert repo.entry(stored.entry_id) is stored
+        with pytest.raises(RepositoryError):
+            repo.entry("nope")
+
+    def test_find_equivalent(self):
+        repo = Repository()
+        repo.insert(entry(PROJECT))
+        assert repo.find_equivalent(plan_of(PROJECT)) is not None
+        assert repo.find_equivalent(plan_of(FILTERED)) is None
+
+    def test_remove_deletes_owned_file(self):
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/stored/x", ["data"])
+        repo = Repository()
+        stored = repo.insert(entry(PROJECT, output="/stored/x"))
+        repo.remove(stored, dfs)
+        assert len(repo) == 0
+        assert not dfs.exists("/stored/x")
+
+    def test_remove_keeps_unowned_file(self):
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/user/out", ["data"])
+        repo = Repository()
+        unowned = entry(PROJECT, output="/user/out")
+        unowned.owns_file = False
+        repo.insert(unowned)
+        repo.remove(unowned, dfs)
+        assert dfs.exists("/user/out")
+
+    def test_remove_missing_raises(self):
+        repo = Repository()
+        with pytest.raises(RepositoryError):
+            repo.remove(entry(PROJECT))
+
+
+class TestStatistics:
+    def test_total_stored_bytes(self):
+        repo = Repository()
+        repo.insert(entry(PROJECT, output_bytes=100))
+        repo.insert(entry(FILTERED, output="/stored/f", output_bytes=50))
+        assert repo.total_stored_bytes() == 150
+
+    def test_record_use_updates_counters(self):
+        stats = EntryStats(1000, 100, 60.0, created_tick=1)
+        stats.record_use(5)
+        stats.record_use(9)
+        assert stats.use_count == 2
+        assert stats.last_used_tick == 9
+
+    def test_reduction_ratio(self):
+        assert EntryStats(1000, 100, 1.0).reduction_ratio == 10
+        assert EntryStats(1000, 0, 1.0).reduction_ratio == 1000  # no div-zero
+
+    def test_describe_mentions_entries(self):
+        repo = Repository()
+        stored = repo.insert(entry(PROJECT))
+        assert stored.entry_id in repo.describe()

@@ -1,0 +1,176 @@
+"""Unit tests for the retention/eviction policies (Section 5, Rules 1-4)."""
+
+import pytest
+
+from repro.common import LogicalClock
+from repro.dfs import DistributedFileSystem
+from repro.logical import build_logical_plan
+from repro.mapreduce import CostModel, CostModelConfig
+from repro.physical import logical_to_physical
+from repro.piglatin import parse_query
+from repro.restore import (
+    HeuristicRetentionPolicy,
+    KeepEverythingPolicy,
+    Repository,
+    RepositoryEntry,
+)
+from repro.restore.stats import EntryStats
+
+PLAN_TEXT = """
+A = load '/data/in' as (x:int, y:int);
+B = filter A by x > 0;
+store B into '/stored/out';
+"""
+
+
+def make_entry(input_bytes=10**9, output_bytes=10**6, time=600.0,
+               created_tick=0, versions=None, owns_file=True):
+    plan = logical_to_physical(build_logical_plan(parse_query(PLAN_TEXT)))
+    stats = EntryStats(input_bytes, output_bytes, time, created_tick=created_tick)
+    return RepositoryEntry(plan, "/stored/out", stats,
+                           input_versions=versions or {}, owns_file=owns_file)
+
+
+def cost_model():
+    return CostModel(CostModelConfig())
+
+
+class TestKeepEverything:
+    def test_keeps_anything(self):
+        policy = KeepEverythingPolicy()
+        bad = make_entry(input_bytes=1, output_bytes=10**9, time=0.001)
+        assert policy.should_keep(bad, cost_model())
+
+    def test_sweep_evicts_nothing(self):
+        repo = Repository()
+        repo.insert(make_entry())
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        assert KeepEverythingPolicy().sweep(repo, dfs, LogicalClock(100)) == []
+        assert len(repo) == 1
+
+
+class TestRule1OutputSmallerThanInput:
+    def test_accepts_reducing_output(self):
+        policy = HeuristicRetentionPolicy()
+        assert policy.should_keep(make_entry(), cost_model())
+
+    def test_rejects_expanding_output(self):
+        policy = HeuristicRetentionPolicy()
+        expanding = make_entry(input_bytes=100, output_bytes=1000)
+        assert not policy.should_keep(expanding, cost_model())
+
+    def test_rule_can_be_disabled(self):
+        policy = HeuristicRetentionPolicy(require_reduction=False,
+                                          require_benefit=False)
+        expanding = make_entry(input_bytes=100, output_bytes=1000)
+        assert policy.should_keep(expanding, cost_model())
+
+
+class TestRule2TimeBenefit:
+    def test_rejects_when_reload_costs_more_than_recompute(self):
+        policy = HeuristicRetentionPolicy()
+        # Producing the job took 1 s; reloading its output takes longer
+        # than that (startup alone is several seconds).
+        cheap = make_entry(time=1.0)
+        assert not policy.should_keep(cheap, cost_model())
+
+    def test_accepts_when_recompute_is_expensive(self):
+        policy = HeuristicRetentionPolicy()
+        expensive = make_entry(time=3600.0, output_bytes=10**6)
+        assert policy.should_keep(expensive, cost_model())
+
+
+class TestRule3ReuseWindow:
+    def _repo_with_entry(self, created_tick, versions=None):
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["1\t2"])
+        dfs.write_lines("/stored/out", ["1\t2"])
+        entry = make_entry(created_tick=created_tick,
+                           versions=versions if versions is not None
+                           else {"/data/in": 1})
+        repo.insert(entry)
+        return repo, dfs, entry
+
+    def test_fresh_entry_survives(self):
+        repo, dfs, _ = self._repo_with_entry(created_tick=8)
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        assert policy.sweep(repo, dfs, LogicalClock(10)) == []
+
+    def test_idle_entry_evicted(self):
+        repo, dfs, entry = self._repo_with_entry(created_tick=1)
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        evicted = policy.sweep(repo, dfs, LogicalClock(10))
+        assert evicted == [entry]
+        assert len(repo) == 0
+        assert not dfs.exists("/stored/out")  # owned file reclaimed
+
+    def test_recent_use_resets_window(self):
+        repo, dfs, entry = self._repo_with_entry(created_tick=1)
+        entry.stats.record_use(9)
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        assert policy.sweep(repo, dfs, LogicalClock(10)) == []
+
+
+class TestRule4InputInvalidation:
+    def test_deleted_input_evicts(self):
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/stored/out", ["x"])
+        entry = make_entry(versions={"/data/in": 1})  # /data/in never written
+        repo.insert(entry)
+        policy = HeuristicRetentionPolicy(window_ticks=100)
+        assert policy.sweep(repo, dfs, LogicalClock(1)) == [entry]
+
+    def test_modified_input_evicts(self):
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["old"])
+        dfs.write_lines("/stored/out", ["x"])
+        entry = make_entry(versions={"/data/in": 1})
+        repo.insert(entry)
+        dfs.write_lines("/data/in", ["new"], overwrite=True)  # version 2
+        policy = HeuristicRetentionPolicy(window_ticks=100)
+        assert policy.sweep(repo, dfs, LogicalClock(1)) == [entry]
+
+    def test_identical_rewrite_does_not_evict(self):
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["same"])
+        dfs.write_lines("/stored/out", ["x"])
+        entry = make_entry(versions={"/data/in": 1})
+        repo.insert(entry)
+        dfs.write_lines("/data/in", ["same"], overwrite=True)  # content-stable
+        policy = HeuristicRetentionPolicy(window_ticks=100)
+        assert policy.sweep(repo, dfs, LogicalClock(1)) == []
+
+    def test_eviction_cascade(self):
+        # Entry B reads entry A's output; evicting A (deleting its file)
+        # must cascade to B via Rule 4.
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["1\t2"])
+        dfs.write_lines("/stored/out", ["1\t2"])
+        dfs.write_lines("/stored/downstream", ["1"])
+        stale = make_entry(created_tick=0, versions={"/data/in": 1})
+
+        downstream_text = PLAN_TEXT.replace("/data/in", "/stored/out").replace(
+            "'/stored/out';", "'/stored/downstream';")
+        from repro.logical import build_logical_plan as blp
+        from repro.physical import logical_to_physical as l2p
+        from repro.piglatin import parse_query as pq
+
+        downstream = RepositoryEntry(
+            l2p(blp(pq(downstream_text))),
+            "/stored/downstream",
+            EntryStats(10**9, 10**3, 600.0, created_tick=10),
+            input_versions={"/stored/out": 1},
+        )
+        repo.insert(stale)
+        repo.insert(downstream)
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        evicted = policy.sweep(repo, dfs, LogicalClock(10))
+        # `stale` idles out (Rule 3); its file deletion invalidates
+        # `downstream` (Rule 4).
+        assert set(evicted) == {stale, downstream}
+        assert len(repo) == 0

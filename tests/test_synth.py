@@ -1,0 +1,102 @@
+"""Tests for the Section 7.5 synthetic workload (Table 2, QP/QF)."""
+
+import pytest
+
+from repro import PigSystem
+from repro.data import encoded_size, encode_row
+from repro.synth import (
+    FIELD_SPECS,
+    qf,
+    QF_FIELDS,
+    qp,
+    QP_MAX_FIELDS,
+    SYNTH_SCHEMA,
+    SynthConfig,
+    SynthData,
+)
+
+
+@pytest.fixture(scope="module")
+def synth_rows():
+    return SynthData(SynthConfig(num_rows=8000, seed=11)).rows()
+
+
+class TestTable2Properties:
+    def test_deterministic(self):
+        config = SynthConfig(num_rows=100, seed=5)
+        assert SynthData(config).rows() == SynthData(config).rows()
+
+    def test_schema_arity(self, synth_rows):
+        assert all(len(row) == len(SYNTH_SCHEMA) == 12 for row in synth_rows)
+
+    def test_string_fields_have_length_20(self, synth_rows):
+        for row in synth_rows[:100]:
+            for value in row[:5]:
+                assert len(value) == 20
+
+    @pytest.mark.parametrize("name,cardinality,fraction", FIELD_SPECS)
+    def test_selectivities_match_table2(self, synth_rows, name, cardinality,
+                                        fraction):
+        position = SYNTH_SCHEMA.position_of(name)
+        selected = sum(1 for row in synth_rows if row[position] == 0)
+        measured = selected / len(synth_rows)
+        assert measured == pytest.approx(fraction, rel=0.35)
+
+    @pytest.mark.parametrize("name,cardinality,fraction", FIELD_SPECS)
+    def test_cardinalities_match_table2(self, synth_rows, name, cardinality,
+                                        fraction):
+        position = SYNTH_SCHEMA.position_of(name)
+        distinct = {row[position] for row in synth_rows}
+        expected = 2 if cardinality == 1.6 else int(cardinality)
+        assert len(distinct) == expected
+
+    def test_projected_fraction_of_row_bytes(self, synth_rows):
+        # Paper: one projected field ~18% of the data, five fields ~74%.
+        row = synth_rows[0]
+        full = encoded_size(encode_row(row, SYNTH_SCHEMA))
+        one_field = len(row[0]) + 1
+        five_fields = sum(len(value) + 1 for value in row[:5])
+        assert 0.10 < one_field / full < 0.30
+        assert 0.60 < five_fields / full < 0.95
+
+
+class TestTemplates:
+    @pytest.fixture(scope="class")
+    def system(self):
+        system = PigSystem()
+        SynthData(SynthConfig(num_rows=2000, seed=11)).install(system.dfs)
+        return system
+
+    @pytest.mark.parametrize("k", range(1, QP_MAX_FIELDS + 1))
+    def test_qp_compiles_to_one_job(self, system, k):
+        workflow = system.compile(qp(k), f"qp{k}")
+        assert len(workflow.jobs) == 1
+        assert workflow.jobs[0].shuffle_op.kind == "group"
+
+    def test_qp_bounds_checked(self):
+        with pytest.raises(ValueError):
+            qp(0)
+        with pytest.raises(ValueError):
+            qp(6)
+
+    def test_qf_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            qf("field1")
+
+    @pytest.mark.parametrize("field", QF_FIELDS)
+    def test_qf_executes_and_counts(self, system, field):
+        out = f"/out/qf_{field}"
+        system.run(qf(field, out_path=out), f"qf_{field}")
+        total = sum(
+            int(line.split("\t")[0]) for line in system.dfs.read_lines(out)
+        )
+        position = SYNTH_SCHEMA.position_of(field)
+        rows = SynthData(SynthConfig(num_rows=2000, seed=11)).rows()
+        assert total == sum(1 for row in rows if row[position] == 0)
+
+    def test_qp_counts_cover_all_rows(self, system):
+        system.run(qp(2, out_path="/out/qp2"), "qp2")
+        total = sum(
+            int(line.split("\t")[0]) for line in system.dfs.read_lines("/out/qp2")
+        )
+        assert total == 2000
