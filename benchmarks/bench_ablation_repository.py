@@ -5,20 +5,32 @@
   partly by "the increasing number of plans to match");
 * repository ordering on/off: first-match must be best-match only when
   the partial order is maintained;
-* retention policy: Rules 1-4 keep the repository small at little cost.
+* retention policy: Rules 1-4 keep the repository small at little cost;
+* **naive vs indexed repository** (PR 1): scan/insert/match timings of
+  the frozen seed linear scan against the fingerprint + leaf-load
+  indexed repository at 10/100/1000 entries.
 """
+
+import time
 
 import pytest
 
 from repro import PigSystem
+from repro.harness.reporting import ExperimentResult
+from repro.physical.operators import POLoad, POStore
+from repro.physical.plan import PhysicalPlan
 from repro.pigmix import PigMixConfig, PigMixData
 from repro.pigmix.queries import query_text
 from repro.restore import (
     HeuristicRetentionPolicy,
     KeepEverythingPolicy,
+    LinearScanRepository,
     Repository,
+    RepositoryEntry,
 )
 from repro.restore.matcher import find_containment
+from repro.restore.persistence import SkeletonOp
+from repro.restore.stats import EntryStats
 
 
 def _system_with_data():
@@ -131,3 +143,159 @@ def test_retention_policy_bounds_repository(benchmark, record_experiment):
         ],
         notes=["beyond the paper: quantifies Section 5's guidelines"],
     ))
+
+
+# --- Naive (seed linear scan) vs indexed repository (PR 1) --------------------
+#
+# Fabricated single-chain skeleton plans keep the fixture cheap while
+# exercising exactly what the repository indexes: signatures, DAG edges,
+# and leaf loads. Entries share a small pool of load paths so the
+# leaf-load index has real work to do (candidate sets are non-trivial),
+# and every entry's operator chain is unique so the subsumption DAG stays
+# sparse — the common shape of a production repository.
+
+_MARGINAL_INSERTS = 3
+_MATCH_PROBES = 8
+_EQUIV_PROBES = 8
+
+
+def _fabricated_plan(index, pool_size, extra_op=None):
+    load = POLoad(f"/data/d{index % pool_size}", None, 0)
+    chain = SkeletonOp("filter", f"FILTER[a>{index}]", None, [load])
+    if extra_op is not None:
+        chain = SkeletonOp("foreach", f"FOREACH[{extra_op}]", None, [chain])
+    return PhysicalPlan([POStore(chain, f"/stored/s{index}")])
+
+
+def _entry_pair(index, pool_size):
+    """Twin entries (indexed repo, naive repo) over one fabricated plan."""
+    plan = _fabricated_plan(index, pool_size)
+    stats = EntryStats(
+        input_bytes=1000 + (index % 7) * 500,
+        output_bytes=10 + (index % 5) * 30,
+        producing_job_time=1.0 + (index % 11),
+    )
+    path = f"/stored/s{index}"
+    return (RepositoryEntry(plan, path, stats),
+            RepositoryEntry(plan, path, stats))
+
+
+def _bulk_load_naive(naive, entries):
+    """Populate the seed repository without paying O(n^3): the greedy
+    order is a pure function of the entry set, so appending everything
+    and reordering once is equivalent to n sequential inserts."""
+    for sequence, entry in enumerate(entries):
+        entry._sequence = sequence
+    naive._entries = list(entries)
+    naive._sequence = len(entries)
+    naive._reorder()
+
+
+def _run_matcher_pass(repository, probe):
+    hits = 0
+    for entry in repository.match_candidates(probe):
+        if find_containment(entry.plan, probe) is not None:
+            hits += 1
+    return hits
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.benchmark(group="ablation-indexed-repository")
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_indexed_repository_vs_naive(benchmark, record_experiment, size):
+    """Insert+match timings, seed linear scan vs indexed repository.
+
+    The acceptance bar for PR 1: >=5x combined insert+match speedup at
+    1000 entries, with bit-identical scan orders throughout.
+    """
+    pool_size = max(4, size // 10)
+    pairs = [_entry_pair(index, pool_size) for index in range(size)]
+
+    indexed = Repository()
+    for indexed_entry, _ in pairs:
+        indexed.insert(indexed_entry)
+    naive = LinearScanRepository()
+    _bulk_load_naive(naive, [naive_entry for _, naive_entry in pairs])
+    assert [e.output_path for e in indexed.scan()] == \
+        [e.output_path for e in naive.scan()]
+
+    fresh = [_entry_pair(size + offset, pool_size)
+             for offset in range(_MARGINAL_INSERTS)]
+    # Half the probes contain a stored chain (a hit), half are foreign.
+    probes = [
+        _fabricated_plan(index if index % 2 == 0 else size * 2 + index,
+                         pool_size, extra_op=f"probe{index}")
+        for index in range(_MATCH_PROBES)
+    ]
+    equiv_plans = [_fabricated_plan(index * (size // _EQUIV_PROBES or 1),
+                                    pool_size)
+                   for index in range(_EQUIV_PROBES)]
+
+    def measure():
+        timings = {}
+        timings["naive_insert"], _ = _timed(
+            lambda: [naive.insert(entry) for _, entry in fresh])
+        timings["indexed_insert"], _ = _timed(
+            lambda: [indexed.insert(entry) for entry, _ in fresh])
+        timings["naive_match"], naive_hits = _timed(
+            lambda: [_run_matcher_pass(naive, probe) for probe in probes])
+        timings["indexed_match"], indexed_hits = _timed(
+            lambda: [_run_matcher_pass(indexed, probe) for probe in probes])
+        assert naive_hits == indexed_hits
+        timings["naive_equiv"], naive_found = _timed(
+            lambda: [naive.find_equivalent(plan) for plan in equiv_plans])
+        timings["indexed_equiv"], indexed_found = _timed(
+            lambda: [indexed.find_equivalent(plan) for plan in equiv_plans])
+        assert ([e and e.output_path for e in naive_found]
+                == [e and e.output_path for e in indexed_found])
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert [e.output_path for e in indexed.scan()] == \
+        [e.output_path for e in naive.scan()]
+
+    naive_total = timings["naive_insert"] + timings["naive_match"]
+    indexed_total = timings["indexed_insert"] + timings["indexed_match"]
+    speedup = naive_total / max(indexed_total, 1e-9)
+    record_experiment(ExperimentResult(
+        f"ablation_indexed_repository_{size}",
+        f"Naive vs indexed repository at {size} entries "
+        f"({_MARGINAL_INSERTS} inserts, {_MATCH_PROBES} matcher passes, "
+        f"{_EQUIV_PROBES} find_equivalent probes)",
+        ["operation", "naive_s", "indexed_s", "speedup"],
+        [
+            {"operation": op,
+             "naive_s": round(timings[f"naive_{op}"], 6),
+             "indexed_s": round(timings[f"indexed_{op}"], 6),
+             "speedup": round(timings[f"naive_{op}"]
+                              / max(timings[f"indexed_{op}"], 1e-9), 1)}
+            for op in ("insert", "match", "equiv")
+        ],
+        notes=[f"combined insert+match speedup: {speedup:.1f}x"],
+    ))
+    if size >= 1000:
+        assert speedup >= 5.0, (
+            f"indexed repository must be >=5x faster at {size} entries, "
+            f"got {speedup:.1f}x (naive {naive_total:.4f}s, "
+            f"indexed {indexed_total:.4f}s)"
+        )
+
+
+@pytest.mark.benchmark(group="ablation-scan-snapshot")
+def test_scan_returns_cached_immutable_snapshot(benchmark):
+    """The matcher's rescan loop calls scan() per pass; the repository
+    must hand back one cached tuple, not allocate a fresh list per call
+    (micro-benchmark assertion for the PR 1 satellite fix)."""
+    repository = Repository()
+    for index in range(50):
+        entry, _ = _entry_pair(index, pool_size=8)
+        repository.insert(entry)
+
+    snapshot = benchmark(repository.scan)
+    assert isinstance(snapshot, tuple)
+    assert repository.scan() is snapshot  # cached: no per-call allocation

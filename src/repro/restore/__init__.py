@@ -13,13 +13,47 @@ The three components of Figure 7:
 
 :class:`repro.restore.ReStore` wires them into the JobControl loop exactly
 as Section 6.2 describes.
+
+The matching pipeline and its cost
+----------------------------------
+
+The paper's matcher is a *sequential scan* of the repository in priority
+order, and the seed reproduced it literally. With n entries, L loads per
+plan, and C the cost of one containment test:
+
+=====================  =====================  ==========================
+operation              seed (linear scan)     indexed (PR 1)
+=====================  =====================  ==========================
+``find_equivalent``    O(n·C) full scan       O(C) fingerprint bucket
+``insert``             O(n²) cached subsume   O(k·C + n) — k candidates
+                       checks + Kahn rerun    from the load index, splice
+                                              (Kahn rerun only when the
+                                              entry has subsumption edges
+                                              or after a removal)
+matcher pass           O(n·C)                 O(k·C): only entries whose
+                                              loads ⊆ the job's loads
+``remove``             O(n), leaks the        O(n + cache): prunes the
+                       subsumption cache      cache, edges, and indexes
+=====================  =====================  ==========================
+
+The supporting structures live in :mod:`repro.restore.index` (canonical
+plan fingerprints and the leaf-load inverted index). The contract is that
+indexing changes *nothing* observable: ``scan()`` yields the exact order
+the seed's reorder produced and every match/rewrite/registration decision
+is bit-identical. The seed implementation is frozen as
+:class:`repro.restore.baseline.LinearScanRepository`, and the property
+suite (``tests/test_property_restore.py``) checks order- and
+decision-equivalence against it on randomized workflow streams;
+``benchmarks/bench_ablation_repository.py`` reports the speedup.
 """
 
+from repro.restore.baseline import LinearScanRepository
 from repro.restore.heuristics import (
     AggressiveHeuristic,
     ConservativeHeuristic,
     NoHeuristic,
 )
+from repro.restore.index import leaf_loads, plan_fingerprint
 from repro.restore.manager import ReStore, ReStoreReport
 from repro.restore.matcher import find_containment, pairwise_plan_traversal
 from repro.restore.persistence import load_repository, save_repository
@@ -35,9 +69,12 @@ __all__ = [
     "find_containment",
     "HeuristicRetentionPolicy",
     "KeepEverythingPolicy",
+    "leaf_loads",
+    "LinearScanRepository",
     "load_repository",
     "NoHeuristic",
     "pairwise_plan_traversal",
+    "plan_fingerprint",
     "save_repository",
     "Repository",
     "RepositoryEntry",

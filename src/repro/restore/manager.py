@@ -162,11 +162,20 @@ class ReStore(JobControl):
 
     def _match_and_rewrite(self, job):
         """Scan the repository; rewrite on the first match; rescan until
-        no plan matches (paper Section 3)."""
+        no plan matches (paper Section 3).
+
+        Each pass asks the repository for its match candidates — entries
+        the leaf-load index cannot rule out, in scan order. Skipped
+        entries provably cannot match (a containment maps every entry
+        Load onto an identically-versioned job Load), so the first
+        candidate that matches is exactly the entry the seed's full
+        sequential scan would have chosen. The candidates are recomputed
+        every pass because a rewrite changes the job's load set.
+        """
         progressed = True
         while progressed:
             progressed = False
-            for entry in self.repository.scan():
+            for entry in self.repository.match_candidates(job.plan):
                 if not self.dfs.exists(entry.output_path):
                     continue
                 match = find_containment(entry.plan, job.plan)

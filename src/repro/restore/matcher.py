@@ -44,15 +44,25 @@ class Match:
         return list(self.mapping.values())
 
 
-def _skip_splits(op):
+def skip_splits(op):
     """Splits are transparent for equivalence (pure pass-through)."""
     while op.kind == "split":
         op = op.inputs[0]
     return op
 
 
+def match_frontier(entry_plan):
+    """A single-Store plan's last operator before its Store — the point
+    whose output a repository entry materializes, and the root of the
+    structure all matching (and fingerprinting) recurses over."""
+    stores = entry_plan.stores()
+    if len(stores) != 1:
+        raise ValueError(f"repository plans must have exactly one Store, got {len(stores)}")
+    return skip_splits(stores[0].inputs[0])
+
+
 def _equivalent(repo_op, input_op, memo):
-    input_op = _skip_splits(input_op)
+    input_op = skip_splits(input_op)
     key = (id(repo_op), id(input_op))
     cached = memo.get(key)
     if cached is not None:
@@ -71,19 +81,11 @@ def _equivalent(repo_op, input_op, memo):
     return result
 
 
-def _repo_frontier(entry_plan):
-    """The repo plan's last operator before its Store."""
-    stores = entry_plan.stores()
-    if len(stores) != 1:
-        raise ValueError(f"repository plans must have exactly one Store, got {len(stores)}")
-    return _skip_splits(stores[0].inputs[0])
-
-
 def _build_mapping(repo_frontier, input_frontier):
     mapping = {}
 
     def walk(repo_op, input_op):
-        input_op = _skip_splits(input_op)
+        input_op = skip_splits(input_op)
         if id(repo_op) in mapping:
             return
         mapping[id(repo_op)] = input_op
@@ -103,7 +105,7 @@ def find_containment(entry_plan, input_plan):
     never frontiers (reusing a stored output to replace a plain Load would
     be a no-op rewrite).
     """
-    repo_frontier = _repo_frontier(entry_plan)
+    repo_frontier = match_frontier(entry_plan)
     memo = {}
     for candidate in input_plan.operators():
         if isinstance(candidate, POStore):

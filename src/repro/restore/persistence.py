@@ -10,7 +10,11 @@ record per operator carrying its kind, canonical signature, schema, and
 input edges. A reloaded repository matches and rewrites exactly like the
 original (rewriting takes its schema from the *input* plan's frontier, so
 skeletons never need to execute). Statistics, input versions, ownership,
-and provenance round-trip too.
+provenance, and the plan fingerprint round-trip too; Load records are
+rebuilt as real :class:`~repro.physical.operators.POLoad` operators (the
+path and version are recovered from the canonical signature) so a
+reloaded repository rebuilds its leaf-load and fingerprint indexes
+identically to the original's.
 """
 
 import json
@@ -18,8 +22,9 @@ import json
 from repro.common.errors import RepositoryError
 from repro.data.schema import Field, Schema
 from repro.data.types import DataType
-from repro.physical.operators import PhysOp, POStore
+from repro.physical.operators import PhysOp, POLoad, POStore
 from repro.physical.plan import PhysicalPlan
+from repro.restore.index import parse_load_signature
 from repro.restore.repository import Repository, RepositoryEntry
 from repro.restore.stats import EntryStats
 
@@ -96,8 +101,7 @@ def plan_from_json(records):
         if record["store_path"] is not None:
             op = POStore(inputs[0], record["store_path"])
         else:
-            op = SkeletonOp(record["kind"], record["signature"],
-                            schema_from_json(record["schema"]), inputs)
+            op = _operator_from_record(record, inputs)
         operators.append(op)
     sinks = [op for op in operators if isinstance(op, POStore)]
     if len(sinks) != 1:
@@ -107,6 +111,23 @@ def plan_from_json(records):
     return PhysicalPlan(sinks)
 
 
+def _operator_from_record(record, inputs):
+    """Rebuild one non-Store operator.
+
+    Loads come back as real POLoads (path/version recovered from the
+    canonical signature) so the repository's leaf-load index can key a
+    reloaded entry exactly as it keyed the original; everything else is a
+    signature-preserving skeleton.
+    """
+    if record["kind"] == "load" and not inputs:
+        parsed = parse_load_signature(record["signature"])
+        if parsed is not None:
+            path, version = parsed
+            return POLoad(path, schema_from_json(record["schema"]), version)
+    return SkeletonOp(record["kind"], record["signature"],
+                      schema_from_json(record["schema"]), inputs)
+
+
 # --- Repository (de)serialization ---------------------------------------------------
 
 
@@ -114,6 +135,7 @@ def entry_to_json(entry):
     stats = entry.stats
     return {
         "plan": plan_to_json(entry.plan),
+        "fingerprint": entry.fingerprint,
         "output_path": entry.output_path,
         "input_versions": entry.input_versions,
         "owns_file": entry.owns_file,
@@ -140,7 +162,7 @@ def entry_from_json(data):
     )
     stats.last_used_tick = raw["last_used_tick"]
     stats.use_count = raw["use_count"]
-    return RepositoryEntry(
+    entry = RepositoryEntry(
         plan_from_json(data["plan"]),
         data["output_path"],
         stats,
@@ -148,6 +170,12 @@ def entry_from_json(data):
         owns_file=data["owns_file"],
         origin=data["origin"],
     )
+    # The saved fingerprint is derivable state: the plan round-trips its
+    # signatures, so the recomputed hash is authoritative. A stale saved
+    # value (e.g. after a signature-canonicalization change in a newer
+    # release) must not brick the restart — the lazily recomputed
+    # fingerprint simply wins, and the repository re-indexes with it.
+    return entry
 
 
 DEFAULT_REPOSITORY_PATH = "/restore/repository.jsonl"

@@ -3,7 +3,17 @@
 The central one: **reuse never changes results**. A random pipeline query
 is generated, executed on a plain system and on a ReStore system twice
 (populate + reuse); all three outputs must be byte-identical.
+
+The second family (PR 1): **indexing never changes decisions**. The
+indexed :class:`~repro.restore.Repository` is driven in lock-step with
+the frozen seed implementation
+(:class:`~repro.restore.LinearScanRepository`) over randomized workflow
+streams, and must produce identical scan orders, identical
+``find_equivalent`` results, identical match decisions, and identical
+:class:`~repro.restore.ReStoreReport` contents.
 """
+
+import random
 
 import pytest
 from hypothesis import assume, given, HealthCheck, settings, strategies as st
@@ -12,8 +22,11 @@ from repro import PigSystem
 from repro.data import DataType, encode_row, Field, Schema
 from repro.logical import build_logical_plan
 from repro.physical import logical_to_physical
+from repro.physical.operators import POLoad
 from repro.piglatin import parse_query
+from repro.restore import LinearScanRepository, Repository, RepositoryEntry
 from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
+from repro.restore.stats import EntryStats
 
 SCHEMA = Schema(
     [
@@ -37,30 +50,26 @@ _rows = st.lists(
 
 # A random linear pipeline: load -> transforms -> optional blocking ->
 # optional aggregate -> store.
-_transforms = st.lists(
-    st.sampled_from(
-        [
-            "{out} = filter {inp} by a > 10;",
-            "{out} = filter {inp} by b < 40;",
-            "{out} = foreach {inp} generate k, a, b, c;",
-            "{out} = foreach {inp} generate k, a + b as a, b, c;",
-            "{out} = distinct {inp};",
-        ]
-    ),
-    min_size=0,
-    max_size=3,
-)
+TRANSFORM_TEMPLATES = [
+    "{out} = filter {inp} by a > 10;",
+    "{out} = filter {inp} by b < 40;",
+    "{out} = foreach {inp} generate k, a, b, c;",
+    "{out} = foreach {inp} generate k, a + b as a, b, c;",
+    "{out} = distinct {inp};",
+]
 
-_tails = st.sampled_from(
-    [
-        "",
-        "{out} = group {inp} by k;"
-        "{out2} = foreach {out} generate group, COUNT({inp});",
-        "{out} = group {inp} by k;"
-        "{out2} = foreach {out} generate group, SUM({inp}.a);",
-        "{out} = order {inp} by k;",
-    ]
-)
+TAIL_TEMPLATES = [
+    "",
+    "{out} = group {inp} by k;"
+    "{out2} = foreach {out} generate group, COUNT({inp});",
+    "{out} = group {inp} by k;"
+    "{out2} = foreach {out} generate group, SUM({inp}.a);",
+    "{out} = order {inp} by k;",
+]
+
+_transforms = st.lists(st.sampled_from(TRANSFORM_TEMPLATES), min_size=0, max_size=3)
+
+_tails = st.sampled_from(TAIL_TEMPLATES)
 
 
 def build_query(transforms, tail):
@@ -154,3 +163,183 @@ def test_property_prefix_queries_share_work(rows, transforms):
     check.run(extended_query)
     assert (system.dfs.read_lines("/out/extended")
             == check.dfs.read_lines("/out/extended"))
+
+
+# --- Indexed repository vs the frozen seed linear scan (PR 1) -----------------
+#
+# The indexed Repository must be observationally identical to the seed's
+# sequential-scan implementation: same scan order, same find_equivalent
+# answers, same match decisions. These tests drive both in lock-step.
+
+_POOL_QUERIES = []
+for _ds in ("/data/t", "/data/u"):
+    _base = (f"A = load '{_ds}' as (k:chararray, a:int, b:int, c:chararray);")
+    for _body, _last in [
+        ("", "A"),
+        ("B = filter A by a > 10;", "B"),
+        ("B = filter A by a > 10; C = foreach B generate k, a;", "C"),
+        ("B = filter A by a > 10; C = foreach B generate k, a;"
+         "D = distinct C;", "D"),
+        ("B = foreach A generate k, a + b as a;", "B"),
+        ("B = group A by k; C = foreach B generate group, COUNT(A);", "C"),
+    ]:
+        if _last == "A":
+            continue  # bare Load->Store plans have no match frontier
+        _POOL_QUERIES.append(f"{_base}\n{_body}\nstore {_last} into '/stored/p';")
+_POOL_QUERIES.append(
+    "A = load '/data/t' as (k:chararray, a:int, b:int, c:chararray);\n"
+    "B = load '/data/u' as (k:chararray, a:int, b:int, c:chararray);\n"
+    "C = join A by k, B by k;\n"
+    "store C into '/stored/p';"
+)
+_POOL_QUERIES.append(
+    "A = load '/data/t' as (k:chararray, a:int, b:int, c:chararray);\n"
+    "B = load '/data/u' as (k:chararray, a:int, b:int, c:chararray);\n"
+    "C = join A by k, B by k;\n"
+    "D = filter C by $1 > 10;\n"
+    "store D into '/stored/p';"
+)
+
+
+@pytest.fixture(scope="module")
+def plan_pool():
+    return [logical_to_physical(build_logical_plan(parse_query(text)))
+            for text in _POOL_QUERIES]
+
+
+def _pool_plan(plan_pool, pool_index, version):
+    """A fresh clone of a pool plan with every Load pinned to ``version``."""
+    plan, _ = plan_pool[pool_index % len(plan_pool)].clone()
+    for op in plan.operators():
+        if isinstance(op, POLoad):
+            op.version = version
+    return plan
+
+
+def _first_match_path(candidates, probe_plan):
+    for entry in candidates:
+        if find_containment(entry.plan, probe_plan) is not None:
+            return entry.output_path
+    return None
+
+
+def _assert_repos_agree(indexed, seed, context):
+    assert [e.output_path for e in indexed.scan()] == \
+        [e.output_path for e in seed.scan()], context
+
+
+def test_property_indexed_repository_equivalent_to_seed(plan_pool):
+    """200 randomized workflow streams of inserts/removals/probes: the
+    indexed repository and the frozen seed linear scan must produce
+    identical scan orders, find_equivalent results, and match decisions
+    after every single operation."""
+    for stream in range(200):
+        rng = random.Random(1000 + stream)
+        indexed, seed = Repository(), LinearScanRepository()
+        pairs = {}  # output_path -> (indexed entry, seed entry)
+        for step in range(rng.randint(6, 14)):
+            context = f"stream={stream} step={step}"
+            action = rng.random()
+            if action < 0.60 or not pairs:
+                pool_index = rng.randrange(len(plan_pool))
+                version = rng.choice([0, 0, 0, 1, 2])
+                plan = _pool_plan(plan_pool, pool_index, version)
+                stats = EntryStats(
+                    input_bytes=rng.choice([1000, 2000, 10000]),
+                    output_bytes=rng.choice([10, 100, 1000]),
+                    producing_job_time=rng.choice([1.0, 5.0, 60.0]),
+                )
+                path = f"/stored/s{stream}-{step}"
+                pair = (RepositoryEntry(plan, path, stats),
+                        RepositoryEntry(plan, path, stats))
+                indexed.insert(pair[0])
+                seed.insert(pair[1])
+                pairs[path] = pair
+            elif action < 0.75:
+                victim = indexed.scan()[rng.randrange(len(indexed))]
+                pair = pairs.pop(victim.output_path)
+                indexed.remove(pair[0])
+                seed.remove(pair[1])
+            else:
+                probe = _pool_plan(plan_pool, rng.randrange(len(plan_pool)),
+                                   rng.choice([0, 0, 1]))
+                found = indexed.find_equivalent(probe)
+                expected = seed.find_equivalent(probe)
+                assert (found is None) == (expected is None), context
+                if found is not None:
+                    assert found.output_path == expected.output_path, context
+                # Match decision: the load-index-filtered candidate walk
+                # must pick the same first match as the seed's full scan,
+                # and must not drop any matching entry.
+                assert _first_match_path(indexed.match_candidates(probe), probe) \
+                    == _first_match_path(seed.scan(), probe), context
+                candidate_paths = {e.output_path
+                                   for e in indexed.match_candidates(probe)}
+                skipped = [e for e in seed.scan()
+                           if e.output_path not in candidate_paths]
+                assert all(find_containment(e.plan, probe) is None
+                           for e in skipped), context
+            _assert_repos_agree(indexed, seed, context)
+
+
+def _normalize(path, manager):
+    """Materialized sub-job paths embed a per-manager instance counter;
+    map them to a common prefix so two managers' decisions compare."""
+    return path.replace(manager._mat_prefix, "/MAT")
+
+
+def _report_shape(manager):
+    report = manager.last_report
+    repo = manager.repository
+    return {
+        "rewrites": [_normalize(repo.entry(eid).output_path, manager)
+                     for _, eid in report.rewrites],
+        "eliminated": len(report.eliminated_jobs),
+        "injected": [(kind, _normalize(path, manager))
+                     for _, kind, path in report.injected_stores],
+        "registered": [_normalize(repo.entry(eid).output_path, manager)
+                       for eid in report.registered_entries],
+        "rejected": [_normalize(path, manager)
+                     for path in report.rejected_candidates],
+        "evicted": len(report.evicted_entries),
+        "scan": [_normalize(e.output_path, manager) for e in repo.scan()],
+    }
+
+
+def test_property_manager_decisions_match_seed_repository():
+    """Randomized workflow streams through two full ReStore managers —
+    one on the indexed repository, one on the frozen seed linear scan —
+    must make identical rewrite/eliminate/register decisions and produce
+    identical outputs."""
+    for stream in range(25):
+        rng = random.Random(7000 + stream)
+        rows = [
+            (rng.choice(["x", "y", "z"]), rng.randint(0, 50),
+             rng.randint(0, 50), rng.choice(["p", "q"]))
+            for _ in range(6)
+        ]
+        queries = []
+        for q in range(rng.randint(2, 3)):
+            transforms = [rng.choice(TRANSFORM_TEMPLATES)
+                          for _ in range(rng.randint(0, 3))]
+            tail = rng.choice(TAIL_TEMPLATES)
+            queries.append(build_query(transforms, tail)
+                           .replace("/out/result", f"/out/s{q}"))
+
+        managers = []
+        for repository in (Repository(), LinearScanRepository()):
+            system = PigSystem()
+            system.dfs.write_lines(
+                "/data/t", [encode_row(r, SCHEMA) for r in rows])
+            manager = system.restore(repository=repository)
+            shapes = []
+            for name_index, query in enumerate(queries):
+                manager.submit(system.compile(query, f"s{name_index}"))
+                shapes.append(_report_shape(manager))
+            outputs = {f"/out/s{q}": system.dfs.read_lines(f"/out/s{q}")
+                       for q in range(len(queries))}
+            managers.append((shapes, outputs))
+
+        (indexed_shapes, indexed_outputs), (seed_shapes, seed_outputs) = managers
+        assert indexed_shapes == seed_shapes, f"stream={stream}"
+        assert indexed_outputs == seed_outputs, f"stream={stream}"

@@ -7,7 +7,8 @@ import pytest
 from repro import PigSystem
 from repro.common.errors import RepositoryError
 from repro.data import DataType, Field, Schema
-from repro.restore import load_repository, save_repository
+from repro.physical.operators import POLoad
+from repro.restore import leaf_loads, load_repository, save_repository
 from repro.restore.matcher import contains, find_containment
 from repro.restore.persistence import (
     entry_from_json,
@@ -140,3 +141,95 @@ class TestRestartScenario:
         save_repository(restore.repository, system.dfs, "/restore/b")
         assert (system.dfs.read_lines("/restore/a")
                 == system.dfs.read_lines("/restore/b"))
+
+
+class TestIndexRoundtrip:
+    """PR 1: fingerprints and the rebuilt indexes survive a restart."""
+
+    def _saved_and_reloaded(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        save_repository(restore.repository, system.dfs)
+        return system, restore.repository, load_repository(system.dfs)
+
+    def test_fingerprints_roundtrip(self):
+        _, original, reloaded = self._saved_and_reloaded()
+        assert [e.fingerprint for e in reloaded.scan()] == \
+            [e.fingerprint for e in original.scan()]
+
+    def test_fingerprint_is_serialized(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        entry = restore.repository.scan()[0]
+        assert entry_to_json(entry)["fingerprint"] == entry.fingerprint
+
+    def test_stale_saved_fingerprint_is_recomputed(self):
+        # The plan is authoritative: a stale persisted fingerprint (e.g.
+        # a signature-canonicalization change in a newer release) must
+        # not brick the restart — the reloaded entry re-derives its hash.
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        original = restore.repository.scan()[0]
+        data = entry_to_json(original)
+        data["fingerprint"] = "0" * 64
+        assert entry_from_json(data).fingerprint == original.fingerprint
+
+    def test_legacy_record_without_fingerprint_loads(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        entry = restore.repository.scan()[0]
+        data = entry_to_json(entry)
+        del data["fingerprint"]
+        assert entry_from_json(data).fingerprint == entry.fingerprint
+
+    def test_reloaded_loads_are_real_poloads(self):
+        _, original, reloaded = self._saved_and_reloaded()
+        for entry in reloaded.scan():
+            loads = entry.plan.loads()
+            assert loads and all(isinstance(op, POLoad) for op in loads)
+        assert [leaf_loads(e.plan) for e in reloaded.scan()] == \
+            [leaf_loads(e.plan) for e in original.scan()]
+
+    def test_reloaded_repository_finds_equivalents(self):
+        _, original, reloaded = self._saved_and_reloaded()
+        for entry in original.scan():
+            found = reloaded.find_equivalent(entry.plan)
+            assert found is not None
+            assert found.output_path == entry.output_path
+
+    def test_reloaded_match_candidates_agree(self):
+        system, original, reloaded = self._saved_and_reloaded()
+        job = system.compile(Q2_TEXT).topological_jobs()[0]
+        assert [e.output_path for e in reloaded.match_candidates(job.plan)] \
+            == [e.output_path for e in original.match_candidates(job.plan)]
+
+    def test_inserts_and_evictions_after_reload_match_original(self):
+        """A reloaded repository keeps behaving like the original through
+        subsequent inserts and evictions: same scan order, same matches."""
+        system, original, reloaded = self._saved_and_reloaded()
+        # Subsequent insert: register a fresh entry in both.
+        extra = system.restore()
+        extra_query = Q1_TEXT.replace("'/out/L2_out'", "'/out/extra'")
+        extra.submit(system.compile(extra_query))
+        donors = [e for e in extra.repository.scan()]
+        for donor in donors:
+            for target in (original, reloaded):
+                target.insert(entry_from_json(entry_to_json(donor)))
+        assert [e.output_path for e in reloaded.scan()] == \
+            [e.output_path for e in original.scan()]
+        # Eviction: remove the same entry from both; orders must track.
+        victim_path = original.scan()[0].output_path
+        for target in (original, reloaded):
+            victim = next(e for e in target.scan()
+                          if e.output_path == victim_path)
+            target.remove(victim)
+        assert [e.output_path for e in reloaded.scan()] == \
+            [e.output_path for e in original.scan()]
+        job = system.compile(Q2_TEXT).topological_jobs()[0]
+        assert [e.output_path for e in reloaded.match_candidates(job.plan)] \
+            == [e.output_path for e in original.match_candidates(job.plan)]

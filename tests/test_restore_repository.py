@@ -158,3 +158,82 @@ class TestStatistics:
         repo = Repository()
         stored = repo.insert(entry(PROJECT))
         assert stored.entry_id in repo.describe()
+
+
+class TestScanSnapshot:
+    def test_scan_returns_immutable_cached_snapshot(self):
+        # The matcher's rescan loop calls scan() repeatedly; the repository
+        # must hand out one immutable snapshot, not a fresh list per call.
+        repo = Repository()
+        repo.insert(entry(PROJECT))
+        repo.insert(entry(FILTERED, output="/stored/f"))
+        snapshot = repo.scan()
+        assert isinstance(snapshot, tuple)
+        assert repo.scan() is snapshot
+        with pytest.raises(AttributeError):
+            snapshot.append  # tuples expose no mutators
+
+    def test_snapshot_invalidated_by_insert_and_remove(self):
+        repo = Repository()
+        first = repo.insert(entry(PROJECT))
+        before = repo.scan()
+        second = repo.insert(entry(FILTERED, output="/stored/f"))
+        after_insert = repo.scan()
+        assert after_insert is not before
+        assert set(after_insert) == {first, second}
+        repo.remove(second)
+        assert repo.scan() == (first,)
+
+
+class TestIndexMaintenance:
+    def test_remove_prunes_subsumption_cache(self):
+        # Seed regression: remove() left every cached pair referencing the
+        # removed entry behind, so eviction-heavy retention policies (e.g.
+        # KeepEverythingPolicy churn via manual sweeps) grew the cache
+        # without bound.
+        repo = Repository()
+        churn = 12
+        for round_index in range(churn):
+            stored = repo.insert(entry(PROJECT, output=f"/stored/x{round_index}"))
+            other = repo.insert(entry(Q1_TEXT, output=f"/stored/q{round_index}"))
+            repo.remove(stored)
+            repo.remove(other)
+        assert len(repo) == 0
+        assert repo._subsumption_cache == {}
+
+    def test_cache_keeps_pairs_of_surviving_entries(self):
+        repo = Repository()
+        kept = repo.insert(entry(PROJECT))
+        dropped = repo.insert(entry(Q1_TEXT, output="/stored/q1"))
+        assert any(kept.entry_id in key and dropped.entry_id in key
+                   for key in repo._subsumption_cache)
+        repo.remove(dropped)
+        assert all(dropped.entry_id not in key
+                   for key in repo._subsumption_cache)
+
+    def test_match_candidates_filters_disjoint_loads(self):
+        repo = Repository()
+        page_views = repo.insert(entry(PROJECT))
+        repo.insert(entry(FILTERED, output="/stored/f"))
+        other = plan_of(PROJECT.replace("/data/page_views", "/data/elsewhere"))
+        assert repo.match_candidates(other) == ()
+        same = plan_of(PROJECT)
+        assert page_views in repo.match_candidates(same)
+
+    def test_match_candidates_preserve_scan_order(self):
+        repo = Repository()
+        repo.insert(entry(PROJECT, output_bytes=1, time=1.0))
+        repo.insert(entry(Q1_TEXT, output="/stored/q1", output_bytes=900, time=5.0))
+        repo.insert(entry(FILTERED, output="/stored/f"))
+        probe = plan_of(Q1_TEXT)
+        candidates = repo.match_candidates(probe)
+        order = repo.scan()
+        assert [order.index(c) for c in candidates] == \
+            sorted(order.index(c) for c in candidates)
+
+    def test_fingerprint_invariant_under_store_path(self):
+        a = plan_of(PROJECT)
+        b = plan_of(PROJECT.replace("/stored/proj", "/stored/other"))
+        from repro.restore import plan_fingerprint
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+        assert plan_fingerprint(a) != plan_fingerprint(plan_of(FILTERED))
