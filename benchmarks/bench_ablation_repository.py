@@ -27,6 +27,7 @@ from repro.restore import (
     LinearScanRepository,
     Repository,
     RepositoryEntry,
+    ShardedRepository,
 )
 from repro.restore.matcher import find_containment
 from repro.restore.persistence import SkeletonOp
@@ -284,6 +285,101 @@ def test_indexed_repository_vs_naive(benchmark, record_experiment, size):
             f"got {speedup:.1f}x (naive {naive_total:.4f}s, "
             f"indexed {indexed_total:.4f}s)"
         )
+
+
+# --- Sharded repository: match throughput vs shard count (PR 2) ---------------
+#
+# The same fabricated 1000-entry workload, partitioned by leaf-load key.
+# A probe reads one load key, so it consults exactly one shard; the
+# per-probe filter cost drops from O(n) to O(n/N), which is what the
+# throughput ratio measures (the serial executor is used so the numbers
+# are pure algorithmic gains, not thread scheduling).
+
+_SHARD_COUNTS = [1, 2, 8]
+_SHARDED_SIZE = 1000
+_SHARDED_PROBE_ROUNDS = 3
+
+
+@pytest.mark.benchmark(group="ablation-sharded-repository")
+def test_sharded_match_throughput_scales(benchmark, record_experiment):
+    """match_candidates throughput must scale with shard count: the
+    acceptance bar for PR 2 is >=2x at 8 shards vs 1 shard on the
+    1000-entry workload, with identical candidate sequences throughout.
+    """
+    pool_size = max(4, _SHARDED_SIZE // 10)
+    plans = [_fabricated_plan(index, pool_size)
+             for index in range(_SHARDED_SIZE)]
+
+    def populate(repository):
+        for index, plan in enumerate(plans):
+            stats = EntryStats(
+                input_bytes=1000 + (index % 7) * 500,
+                output_bytes=10 + (index % 5) * 30,
+                producing_job_time=1.0 + (index % 11),
+            )
+            repository.insert(
+                RepositoryEntry(plan, f"/stored/s{index}", stats))
+        return repository
+
+    repositories = {"unsharded": populate(Repository())}
+    for shard_count in _SHARD_COUNTS:
+        repositories[f"sharded-{shard_count}"] = populate(
+            ShardedRepository(num_shards=shard_count, executor="serial"))
+
+    # One probe per pool load key; every repository must hand the
+    # matcher identical candidate sequences.
+    probes = [_fabricated_plan(_SHARDED_SIZE * 2 + index, pool_size,
+                               extra_op=f"shardprobe{index}")
+              for index in range(pool_size)]
+    reference = [[e.output_path for e in
+                  repositories["unsharded"].match_candidates(probe)]
+                 for probe in probes]
+    for label, repository in repositories.items():
+        assert [[e.output_path for e in repository.match_candidates(probe)]
+                for probe in probes] == reference, label
+
+    def measure():
+        # Best-of-3 per repository: the ratio assertion below should
+        # reflect algorithmic cost, not a scheduler hiccup in one pass.
+        timings = {}
+        for label, repository in repositories.items():
+            passes = []
+            for _ in range(3):
+                seconds, _ = _timed(
+                    lambda repo=repository: [repo.match_candidates(probe)
+                                             for _ in range(_SHARDED_PROBE_ROUNDS)
+                                             for probe in probes])
+                passes.append(seconds)
+            timings[label] = min(passes)
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    num_probes = len(probes) * _SHARDED_PROBE_ROUNDS
+    throughput = {label: num_probes / max(seconds, 1e-9)
+                  for label, seconds in timings.items()}
+    scaling = throughput["sharded-8"] / max(throughput["sharded-1"], 1e-9)
+    record_experiment(ExperimentResult(
+        "ablation_sharded_repository",
+        f"match_candidates throughput vs shard count "
+        f"({_SHARDED_SIZE} entries, {num_probes} probes, serial executor)",
+        ["repository", "seconds", "probes_per_s", "vs_1_shard"],
+        [
+            {"repository": label,
+             "seconds": round(timings[label], 6),
+             "probes_per_s": round(throughput[label], 1),
+             "vs_1_shard": round(throughput[label]
+                                 / max(throughput["sharded-1"], 1e-9), 2)}
+            for label in ("unsharded", "sharded-1", "sharded-2", "sharded-8")
+        ],
+        notes=[f"8-shard vs 1-shard throughput: {scaling:.1f}x "
+               f"(acceptance bar: >=2x)"],
+    ))
+    assert scaling >= 2.0, (
+        f"sharded match_candidates must scale >=2x from 1 to 8 shards at "
+        f"{_SHARDED_SIZE} entries, got {scaling:.1f}x "
+        f"({throughput['sharded-1']:.0f} -> {throughput['sharded-8']:.0f} "
+        f"probes/s)"
+    )
 
 
 @pytest.mark.benchmark(group="ablation-scan-snapshot")

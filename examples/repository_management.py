@@ -9,7 +9,9 @@ proposes four rules for a production deployment:
 4. evict outputs whose inputs were deleted or modified.
 
 This example submits a stream of queries under both policies, then
-modifies the source data to show Rule 4 invalidation.
+modifies the source data to show Rule 4 invalidation, and finishes by
+running the same stream against a sharded repository to show the
+partitioned match path (identical decisions, per-shard counters).
 
 Run:  python examples/repository_management.py
 """
@@ -17,7 +19,11 @@ Run:  python examples/repository_management.py
 from repro import PigSystem
 from repro.pigmix import PigMixConfig, PigMixData
 from repro.pigmix.queries import query_text
-from repro.restore import HeuristicRetentionPolicy, KeepEverythingPolicy
+from repro.restore import (
+    HeuristicRetentionPolicy,
+    KeepEverythingPolicy,
+    ShardedRepository,
+)
 
 
 def build_system():
@@ -67,6 +73,18 @@ def main():
 
     print("\nrepository after the sweep:")
     print(pruned.repository.describe())
+
+    print("\n=== sharded repository: same decisions, partitioned matching ===")
+    system = build_system()
+    repository = ShardedRepository(num_shards=4)
+    sharded = system.restore(repository=repository)
+    submit_stream(sharded, system, stream)
+    print(f"entries: {len(repository)} across {repository.num_shards} shards")
+    for row in repository.shard_report():
+        print(f"  shard {row['shard']:>2}: {row['occupancy']} entr(ies), "
+              f"{row['probes']} probe(s), {row['match_hits']} hit(s)")
+    print(f"last workflow's matcher: "
+          f"{sharded.last_report.match_counters.describe()}")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,16 @@ is bit-identical. The seed implementation is frozen as
 suite (``tests/test_property_restore.py``) checks order- and
 decision-equivalence against it on randomized workflow streams;
 ``benchmarks/bench_ablation_repository.py`` reports the speedup.
+
+Sharding (PR 2) extends the same contract to a *partitioned* store:
+:class:`repro.restore.sharding.ShardedRepository` hashes entries across
+N shards by leaf-load key, keeps the canonical-fingerprint dict as the
+global cross-shard dedup channel, fans ``match_candidates`` out only to
+the shards owning a job's load keys (through a pluggable serial or
+thread-pool executor), and merges per-shard candidates back into the
+paper's priority order — identical decisions, probe cost proportional to
+the owning shards instead of the whole repository. See
+``docs/ARCHITECTURE.md`` for the full design.
 """
 
 from repro.restore.baseline import LinearScanRepository
@@ -62,6 +72,7 @@ from repro.restore.selector import (
     HeuristicRetentionPolicy,
     KeepEverythingPolicy,
 )
+from repro.restore.sharding import ShardedRepository
 
 __all__ = [
     "AggressiveHeuristic",
@@ -80,4 +91,5 @@ __all__ = [
     "RepositoryEntry",
     "ReStore",
     "ReStoreReport",
+    "ShardedRepository",
 ]

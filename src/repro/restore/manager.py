@@ -28,11 +28,19 @@ from repro.restore.matcher import find_containment
 from repro.restore.repository import Repository, RepositoryEntry
 from repro.restore.rewriter import apply_rewrite, classify_copy_stores, restamp_stages
 from repro.restore.selector import KeepEverythingPolicy
-from repro.restore.stats import EntryStats
+from repro.restore.stats import EntryStats, MatchCounters
 
 
 class ReStoreReport:
-    """What ReStore did while executing one workflow."""
+    """What ReStore did while executing one workflow.
+
+    Besides the decision lists (rewrites, eliminations, registrations,
+    evictions), the report carries :class:`~repro.restore.stats.MatchCounters`
+    explaining why candidate entries offered by ``match_candidates`` were
+    *not* used — a candidate can survive the load-index / shard-merge
+    filter and still be skipped because its stored file is gone from the
+    DFS or because the exact containment test (paper Section 3) fails.
+    """
 
     def __init__(self, workflow_name):
         self.workflow_name = workflow_name
@@ -42,6 +50,7 @@ class ReStoreReport:
         self.registered_entries = []  # entry ids added this run
         self.rejected_candidates = [] # paths rejected by the retention policy
         self.evicted_entries = []     # entry ids removed by the sweep
+        self.match_counters = MatchCounters()  # why candidates were skipped
 
     @property
     def num_rewrites(self):
@@ -53,7 +62,8 @@ class ReStoreReport:
             f"{len(self.eliminated_jobs)} job(s) eliminated, "
             f"{len(self.injected_stores)} store(s) injected, "
             f"{len(self.registered_entries)} entr(ies) registered, "
-            f"{len(self.evicted_entries)} evicted"
+            f"{len(self.evicted_entries)} evicted; "
+            f"matcher: {self.match_counters.describe()}"
         )
 
 
@@ -62,10 +72,17 @@ class ReStore(JobControl):
 
     Parameters mirror the system's knobs:
 
+    * ``repository`` — where stored outputs live: the indexed
+      :class:`~repro.restore.repository.Repository` by default, or a
+      :class:`~repro.restore.sharding.ShardedRepository` for partitioned
+      matching (the manager is repository-agnostic — every decision is
+      identical either way, only the probe cost changes);
     * ``heuristic`` — sub-job selection (:class:`AggressiveHeuristic` is
-      the paper's default); pass None to disable sub-job materialization;
+      the paper's default, Section 4); pass None to disable sub-job
+      materialization;
     * ``retention`` — admission/eviction policy (paper default stores
-      everything);
+      everything; :class:`~repro.restore.selector.HeuristicRetentionPolicy`
+      implements Section 5's Rules 1-4);
     * ``enable_rewrite`` / ``enable_registration`` — turn the matcher or
       the repository population off (used by the experiments to measure
       overhead and no-reuse baselines).
@@ -107,7 +124,13 @@ class ReStore(JobControl):
     def submit(self, workflow):
         """Execute ``workflow`` with reuse; returns the WorkflowResult.
 
-        ``self.last_report`` describes the rewrites/registrations made.
+        Runs the Section 6.2 loop for every job (match & rewrite →
+        simplify → enumerate sub-jobs → execute → register), then the
+        retention policy's eviction sweep (Section 5, Rules 3-4).
+        ``self.last_report`` describes the rewrites, eliminations,
+        registrations, evictions, and the matcher's skip accounting for
+        this workflow; one logical-clock tick per submit drives reuse
+        windows.
         """
         self.clock.tick()
         self.last_report = ReStoreReport(workflow.name)
@@ -165,24 +188,39 @@ class ReStore(JobControl):
         no plan matches (paper Section 3).
 
         Each pass asks the repository for its match candidates — entries
-        the leaf-load index cannot rule out, in scan order. Skipped
-        entries provably cannot match (a containment maps every entry
-        Load onto an identically-versioned job Load), so the first
-        candidate that matches is exactly the entry the seed's full
-        sequential scan would have chosen. The candidates are recomputed
-        every pass because a rewrite changes the job's load set.
+        the leaf-load index (and, for a sharded repository, the shard
+        fan-out merge) cannot rule out, in scan order. Skipped entries
+        provably cannot match (a containment maps every entry Load onto
+        an identically-versioned job Load), so the first candidate that
+        matches is exactly the entry the seed's full sequential scan
+        would have chosen. The candidates are recomputed every pass
+        because a rewrite changes the job's load set.
+
+        Every candidate the filter let through is accounted for in the
+        report's :class:`~repro.restore.stats.MatchCounters`: matched,
+        skipped because its stored output no longer exists, or skipped
+        because the exact containment test rejected it after the
+        candidate merge.
         """
+        counters = self.last_report.match_counters
+        record_hit = getattr(self.repository, "record_match_hit", None)
         progressed = True
         while progressed:
             progressed = False
             for entry in self.repository.match_candidates(job.plan):
+                counters.candidates_tried += 1
                 if not self.dfs.exists(entry.output_path):
+                    counters.skipped_missing_output += 1
                     continue
                 match = find_containment(entry.plan, job.plan)
                 if match is None:
+                    counters.skipped_no_containment += 1
                     continue
                 apply_rewrite(job, match, entry, self.dfs)
                 entry.stats.record_use(self.clock.now())
+                counters.matched += 1
+                if record_hit is not None:
+                    record_hit(entry)
                 self.last_report.rewrites.append((job.job_id, entry.entry_id))
                 progressed = True
                 break

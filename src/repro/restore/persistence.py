@@ -15,6 +15,28 @@ rebuilt as real :class:`~repro.physical.operators.POLoad` operators (the
 path and version are recovered from the canonical signature) so a
 reloaded repository rebuilds its leaf-load and fingerprint indexes
 identically to the original's.
+
+File formats (spec in ``docs/ARCHITECTURE.md``):
+
+* **v1 (legacy, unsharded)** — one JSON entry record per line, in scan
+  order. Written for plain :class:`Repository` instances; reloading by
+  sequential insert reproduces the scan order exactly (the order is a
+  pure function of the entry set with ties broken by insertion
+  sequence).
+
+* **v2 (sharded)** — a **manifest** header line
+  (``{"restore-manifest": 2, "num_shards": N, "sections": [...]}``)
+  followed by one JSONL **section per shard** (catch-all shard id
+  ``-1``). Each section line wraps an entry record with its global scan
+  ``position`` so the loader can re-insert in the original global
+  priority order even though the file is grouped by shard.
+
+``load_repository`` sniffs the format: a v2 manifest loads into a
+:class:`~repro.restore.sharding.ShardedRepository` of the manifest's
+shard count, a v1 file into a plain :class:`Repository` — unless the
+caller passes an explicit ``repository`` target, which is how a
+pre-shard v1 file migrates into a sharded deployment (the shard layout
+is recomputed from the stable load-key hash, so no rewrite is needed).
 """
 
 import json
@@ -26,6 +48,7 @@ from repro.physical.operators import PhysOp, POLoad, POStore
 from repro.physical.plan import PhysicalPlan
 from repro.restore.index import parse_load_signature
 from repro.restore.repository import Repository, RepositoryEntry
+from repro.restore.sharding import ShardedRepository
 from repro.restore.stats import EntryStats
 
 
@@ -180,19 +203,96 @@ def entry_from_json(data):
 
 DEFAULT_REPOSITORY_PATH = "/restore/repository.jsonl"
 
+#: manifest marker key; its value is the format version
+MANIFEST_KEY = "restore-manifest"
+MANIFEST_VERSION = 2
+
 
 def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH):
-    """Persist the repository as one JSON line per entry (scan order)."""
+    """Persist the repository through the DFS.
+
+    A plain :class:`Repository` is written in the v1 single-file format
+    (one entry record per line, scan order); a
+    :class:`~repro.restore.sharding.ShardedRepository` is written in the
+    v2 format: a manifest header followed by per-shard sections whose
+    lines carry each entry's global scan position.
+    """
+    if isinstance(repository, ShardedRepository):
+        return _save_sharded(repository, dfs, path)
     lines = [json.dumps(entry_to_json(entry), sort_keys=True)
              for entry in repository.scan()]
     return dfs.write_lines(path, lines, overwrite=True)
 
 
-def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH):
-    """Rebuild a repository from a saved file; missing file -> empty."""
-    repository = Repository()
+def _save_sharded(repository, dfs, path):
+    positions = {entry.entry_id: position
+                 for position, entry in enumerate(repository.scan())}
+    partitions = repository.partitions()
+    sections = []
+    body = []
+    for shard in partitions:
+        members = sorted(shard, key=lambda entry: positions[entry.entry_id])
+        if not members:
+            continue
+        sections.append({"shard": shard.shard_id, "entries": len(members)})
+        for entry in members:
+            body.append(json.dumps(
+                {"position": positions[entry.entry_id],
+                 "entry": entry_to_json(entry)},
+                sort_keys=True))
+    manifest = json.dumps(
+        {MANIFEST_KEY: MANIFEST_VERSION,
+         "num_shards": repository.num_shards,
+         "entries": len(repository),
+         "sections": sections},
+        sort_keys=True)
+    return dfs.write_lines(path, [manifest] + body, overwrite=True)
+
+
+def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
+    """Rebuild a repository from a saved file; missing file -> empty.
+
+    ``repository`` is the target to load into. When omitted, the file
+    format decides: a v2 manifest builds a
+    :class:`~repro.restore.sharding.ShardedRepository` with the
+    manifest's shard count, a v1 file builds a plain
+    :class:`Repository`. Passing an explicit target migrates across
+    formats in either direction — in particular, a pre-shard v1 file
+    loads into a ``ShardedRepository`` with identical scan order and
+    match decisions (the shard layout is a pure function of the entries'
+    load keys).
+    """
     if not dfs.exists(path):
-        return repository
-    for line in dfs.read_lines(path):
+        return repository if repository is not None else Repository()
+    lines = dfs.read_lines(path)
+    if not lines:
+        return repository if repository is not None else Repository()
+    first = json.loads(lines[0])
+    if isinstance(first, dict) and MANIFEST_KEY in first:
+        return _load_sharded(first, lines[1:], repository)
+    if repository is None:
+        repository = Repository()
+    for line in lines:
         repository.insert(entry_from_json(json.loads(line)))
+    return repository
+
+
+def _load_sharded(manifest, body, repository):
+    if manifest[MANIFEST_KEY] != MANIFEST_VERSION:
+        raise RepositoryError(
+            f"unsupported repository format version {manifest[MANIFEST_KEY]!r}")
+    expected = manifest.get("entries", len(body))
+    if len(body) != expected:
+        raise RepositoryError(
+            f"repository file truncated: manifest promises {expected} "
+            f"entr(ies), file holds {len(body)}")
+    if repository is None:
+        repository = ShardedRepository(num_shards=manifest["num_shards"])
+    records = [json.loads(line) for line in body]
+    # Sections group lines by shard; the global priority order is the
+    # insertion order that reproduces the saved scan order, so sort by
+    # the recorded global position before inserting.
+    records.sort(key=lambda record: record["position"])
+    for record in records:
+        repository.insert(entry_from_json(record["entry"]))
     return repository

@@ -43,7 +43,15 @@ from repro.restore.matcher import contains
 
 
 class RepositoryEntry:
-    """One stored job output."""
+    """One stored job output (paper Section 2.2).
+
+    Holds the producing job's physical plan (``Loads → … → Store``), the
+    output's DFS path, execution/reuse statistics
+    (:class:`~repro.restore.stats.EntryStats` — the ordering and
+    retention rules read them), the versions of the datasets the plan
+    read (Rule 4 invalidation), whether ReStore owns the stored file
+    (safe to delete on evict), and whole-job/sub-job provenance.
+    """
 
     _ids = itertools.count(1)
 
@@ -153,6 +161,7 @@ class Repository:
                      if entry.entry_id in candidate_ids)
 
     def entry(self, entry_id):
+        """The entry with ``entry_id`` (:class:`RepositoryError` if absent)."""
         try:
             return self._by_id[entry_id]
         except KeyError:

@@ -66,16 +66,40 @@ class HeuristicRetentionPolicy(RetentionPolicy):
     # Eviction -------------------------------------------------------------
 
     def sweep(self, repository, dfs, clock):
+        """Batched eviction to a fixpoint.
+
+        The seed restarted a full scan after every single removal
+        (evicting an entry deletes its owned file, which can invalidate
+        entries that read it — Rule 4 cascades). Both eviction conditions
+        are monotone in the set of deleted files, so the fixpoint can be
+        reached in rounds instead: evict *everything* currently evictable
+        in one pass over the scan order, then re-check only the entries
+        whose ``input_versions`` mention a just-deleted path — exactly
+        the set whose Rule 4 check can have changed (Rule 3 expiry is
+        time-invariant within one sweep, so round 1 settled it for
+        everyone). The evicted *set* is identical to the seed's
+        one-at-a-time sweep; rounds are bounded by the depth of the
+        stored-output dependency chains, not the entry count.
+        """
         evicted = []
-        changed = True
-        while changed:
-            changed = False
-            for entry in repository.scan():
-                if self._expired(entry, clock) or self._inputs_gone(entry, dfs):
-                    repository.remove(entry, dfs)
-                    evicted.append(entry)
-                    changed = True  # deletions can invalidate other entries
-                    break
+        candidates = list(repository.scan())
+        while candidates:
+            doomed = [entry for entry in candidates
+                      if self._expired(entry, clock)
+                      or self._inputs_gone(entry, dfs)]
+            if not doomed:
+                break
+            deleted_paths = set()
+            for entry in doomed:
+                repository.remove(entry, dfs)
+                evicted.append(entry)
+                if entry.owns_file:
+                    deleted_paths.add(entry.output_path)
+            if not deleted_paths:
+                break  # nothing cascaded: no other entry can newly expire
+            candidates = [entry for entry in repository.scan()
+                          if any(path in entry.input_versions
+                                 for path in deleted_paths)]
         return evicted
 
     def _expired(self, entry, clock):

@@ -1,0 +1,324 @@
+"""A sharded ReStore repository: partitioned matching, global semantics.
+
+The indexed :class:`~repro.restore.repository.Repository` (PR 1) made
+each lookup cheap, but the repository is still one object serving every
+probe serially. This module partitions the entry set across N **shards**
+so that a match probe only does work proportional to the shards that
+could possibly answer it, and so independent shard probes can run on a
+pluggable executor (serially by default, or on a thread pool).
+
+Sharding layout
+---------------
+
+* Every entry is owned by **exactly one** shard, chosen by a stable hash
+  (CRC-32, process-independent — persistence and restarts reproduce the
+  layout) of the entry's *representative leaf-load key*: the minimum
+  ``(path, version)`` pair of its load set. Entries whose loads cannot
+  be keyed (or that read nothing) live in a dedicated **catch-all**
+  partition consulted by every probe, because no load filter can rule
+  them out.
+
+* Containment requires an entry's load set to be a *subset* of the
+  job's (see :mod:`repro.restore.index`), so an entry that can match a
+  job has its representative key among the job's load keys. A probe for
+  a job touching ``k`` load keys therefore fans out to **at most k
+  shards** (plus the catch-all) and provably sees every possible match.
+
+* The **canonical-fingerprint dict** is kept globally, not per shard: it
+  is the cross-shard dedup channel that keeps ``find_equivalent`` O(1)
+  for the whole repository and guarantees an equivalent computation is
+  never stored twice, whichever shard would own the duplicate.
+
+* Each shard filters only its own entries (~n/N of the repository) and
+  the fan-out merges the per-shard candidates **back into the paper's
+  global priority order** (Section 3's subsumption-then-metrics order)
+  before the matcher runs — so the first match is the same entry the
+  unsharded repository's sequential scan would have chosen, bit for bit.
+
+:class:`ShardedRepository` subclasses :class:`Repository` for the global
+view: scan order, ``find_equivalent``, insert/remove bookkeeping, and the
+subsumption machinery are shared code, which is what makes the
+observational-equivalence property ("sharding changes no decision")
+testable and true by construction. The shards add the partitioned probe
+path and per-shard statistics; the property suite drives
+``ShardedRepository(n ∈ {1, 2, 8})`` in lock-step against the unsharded
+and the seed linear-scan repositories.
+"""
+
+import zlib
+
+from repro.restore.index import LoadIndex, leaf_loads
+from repro.restore.repository import Repository
+from repro.restore.stats import ShardStats
+
+#: shard id of the catch-all partition in reports and persistence manifests
+CATCHALL_SHARD = -1
+
+
+class SerialExecutor:
+    """Run shard probes inline, one after the other (the default).
+
+    Serial probing already benefits from sharding: each probe only
+    touches the shards owning the job's load keys, so the filtered
+    entry count drops from n to ~k·n/N.
+    """
+
+    name = "serial"
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+    def close(self):
+        pass
+
+
+class ThreadPoolProbeExecutor:
+    """Run shard probes on a shared ``concurrent.futures`` thread pool.
+
+    The pool is created lazily on first use and reused across probes;
+    :meth:`close` shuts it down. Useful when probes overlap DFS or other
+    I/O, and the stepping stone to a multi-process shard service (each
+    shard is already an isolated object with its own index).
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers=None):
+        self._max_workers = max_workers
+        self._pool = None
+
+    def map(self, fn, items):
+        if len(items) <= 1:  # nothing to overlap; skip pool dispatch
+            return [fn(item) for item in items]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return list(self._pool.map(fn, items))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _resolve_executor(executor, max_workers):
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "threads":
+        return ThreadPoolProbeExecutor(max_workers)
+    if hasattr(executor, "map"):
+        return executor
+    raise ValueError(
+        f"executor must be 'serial', 'threads', or an object with a "
+        f".map(fn, items) method, got {executor!r}"
+    )
+
+
+def shard_index_for_key(load_key, num_shards):
+    """Stable shard index for one ``(path, version)`` leaf-load key.
+
+    CRC-32 of ``"{path}@v{version}"`` — deterministic across processes
+    (unlike the salted builtin ``hash``), so a persisted repository
+    reloads into the same layout it was saved from.
+    """
+    path, version = load_key
+    return zlib.crc32(f"{path}@v{version}".encode("utf-8")) % num_shards
+
+
+class RepositoryShard:
+    """One partition of a :class:`ShardedRepository`.
+
+    Holds its subset of entries (insertion-ordered) plus a private
+    :class:`~repro.restore.index.LoadIndex` over just those entries, and
+    answers ``probe(job_loads)`` with the local entries whose load sets
+    the job cannot rule out — the per-shard half of ``match_candidates``.
+    """
+
+    __slots__ = ("shard_id", "stats", "_entries", "_load_index")
+
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+        self.stats = ShardStats(shard_id)
+        self._entries = {}            # entry_id -> entry, insertion order
+        self._load_index = LoadIndex()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def add(self, entry, entry_loads):
+        self._entries[entry.entry_id] = entry
+        self._load_index.add(entry, entry_loads)
+        self.stats.occupancy = len(self._entries)
+
+    def discard(self, entry):
+        self._entries.pop(entry.entry_id, None)
+        self._load_index.discard(entry)
+        self.stats.occupancy = len(self._entries)
+
+    def probe(self, job_loads):
+        """Local candidates for a job reading ``job_loads`` (unordered:
+        the owning repository merges shard results into the global
+        priority order).
+
+        Cost is O(local entries) — the sharded analogue of the unsharded
+        repository's full-scan filter, deliberately so: a shard is
+        modeled as an independent service scanning *its own slice*,
+        which is the unit of work that sharding divides (probe cost
+        n → n/N per shard, the scaling the ablation benchmark measures)
+        and that a multi-process shard service would distribute. An
+        id→entry lookup over ``candidate_ids`` would be O(candidates)
+        here, but only by leaning on the in-process dict this class
+        exists to decouple from.
+        """
+        self.stats.probes += 1
+        candidate_ids = self._load_index.candidate_ids(job_loads)
+        if not candidate_ids:
+            return ()
+        result = [entry for entry in self._entries.values()
+                  if entry.entry_id in candidate_ids]
+        self.stats.candidates_returned += len(result)
+        return result
+
+
+class ShardedRepository(Repository):
+    """A :class:`Repository` whose entries are partitioned into shards.
+
+    Parameters:
+
+    * ``num_shards`` — number of hash partitions (≥ 1);
+    * ``executor`` — how shard probes run: ``"serial"`` (default),
+      ``"threads"`` (a shared ``concurrent.futures`` pool), or any object
+      with a ``.map(fn, items)`` method;
+    * ``max_workers`` — thread-pool size when ``executor="threads"``.
+
+    All repository semantics are **identical** to the unsharded
+    :class:`Repository`: same scan order (the paper Section 3 priority
+    order over the global entry set), same ``find_equivalent`` answers
+    (the fingerprint dict is global — the cross-shard dedup channel),
+    same ``match_candidates`` sequences (per-shard candidates are merged
+    back into global scan order). What changes is the *cost*: a probe
+    touches only the shards owning the job's leaf-load keys.
+    """
+
+    def __init__(self, num_shards=4, executor="serial", max_workers=None):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        super().__init__()
+        self.num_shards = num_shards
+        self._shards = [RepositoryShard(index) for index in range(num_shards)]
+        self._catchall = RepositoryShard(CATCHALL_SHARD)
+        self._shard_of = {}           # entry_id -> owning RepositoryShard
+        self._executor = _resolve_executor(executor, max_workers)
+        self._rank = None             # entry_id -> global scan position
+        self._rank_for = None         # the scan() snapshot _rank was built from
+
+    # Shard layout -----------------------------------------------------------
+
+    def owning_shard(self, entry_loads):
+        """The shard that owns an entry reading ``entry_loads``.
+
+        Keyed entries hash their representative (minimum) load key;
+        unkeyable or load-free entries go to the catch-all partition.
+        """
+        if not entry_loads:  # None (unkeyable) or empty
+            return self._catchall
+        return self._shards[shard_index_for_key(min(entry_loads),
+                                                self.num_shards)]
+
+    def shards(self):
+        """The regular shards, in shard-id order (catch-all excluded)."""
+        return tuple(self._shards)
+
+    def partitions(self):
+        """All partitions: the regular shards, then the catch-all."""
+        return tuple(self._shards) + (self._catchall,)
+
+    def shard_report(self):
+        """Per-shard occupancy/probe/hit counters as a list of dicts
+        (catch-all last, shard id ``-1``), for operational reporting."""
+        return [shard.stats.as_dict() for shard in self.partitions()]
+
+    def record_match_hit(self, entry):
+        """Credit a successful rewrite to the shard owning ``entry``
+        (called by the manager after the matcher picks a candidate)."""
+        shard = self._shard_of.get(entry.entry_id)
+        if shard is not None:
+            shard.stats.match_hits += 1
+
+    def close(self):
+        """Release the probe executor (no-op for the serial executor)."""
+        self._executor.close()
+
+    # Mutation ---------------------------------------------------------------
+
+    def insert(self, entry):
+        """Insert globally (order, fingerprint dedup bucket, subsumption
+        edges — inherited) and register the entry with its owning shard."""
+        super().insert(entry)
+        # The global load index just computed and cached the entry's leaf
+        # loads; reuse them rather than re-walking the plan.
+        entry_loads = self._load_index.loads_of(entry.entry_id)
+        shard = self.owning_shard(entry_loads)
+        shard.add(entry, entry_loads)
+        self._shard_of[entry.entry_id] = shard
+        return entry
+
+    def remove(self, entry, dfs=None):
+        """Remove globally and from the owning shard."""
+        super().remove(entry, dfs)
+        shard = self._shard_of.pop(entry.entry_id, None)
+        if shard is not None:
+            shard.discard(entry)
+
+    # Matching ---------------------------------------------------------------
+
+    def match_candidates(self, plan):
+        """Fan out to the shards owning ``plan``'s leaf-load keys, merge
+        their candidates back into the global priority order.
+
+        A job touching k load keys consults at most k shards plus the
+        catch-all (only when the catch-all is occupied). Unkeyable plans
+        fall back to the full global scan, exactly like the unsharded
+        repository.
+        """
+        job_loads = leaf_loads(plan)
+        if job_loads is None:
+            return self.scan()
+        shard_ids = {shard_index_for_key(key, self.num_shards)
+                     for key in job_loads}
+        partitions = [self._shards[index] for index in sorted(shard_ids)]
+        if len(self._catchall):
+            partitions.append(self._catchall)
+        if not partitions:
+            return ()
+        buckets = self._executor.map(lambda shard: shard.probe(job_loads),
+                                     partitions)
+        rank = self._scan_rank()
+        merged = sorted((entry for bucket in buckets for entry in bucket),
+                        key=lambda entry: rank[entry.entry_id])
+        return tuple(merged)
+
+    def _scan_rank(self):
+        """entry_id -> position in the global scan order (cached per
+        scan snapshot; invalidated automatically on insert/remove)."""
+        order = self.scan()
+        if self._rank_for is not order:
+            self._rank = {entry.entry_id: position
+                          for position, entry in enumerate(order)}
+            self._rank_for = order
+        return self._rank
+
+    def describe(self):
+        lines = [
+            f"ShardedRepository: {len(self)} entr(ies) across "
+            f"{self.num_shards} shard(s) "
+            f"(+{len(self._catchall)} catch-all), "
+            f"executor={getattr(self._executor, 'name', 'custom')}"
+        ]
+        for shard in self.partitions():
+            lines.append(f"- {shard.stats.describe()}")
+        lines.extend(f"- {entry.describe()}" for entry in self.scan())
+        return "\n".join(lines)

@@ -4,6 +4,15 @@ For every stored job output, the repository keeps the statistics that the
 MapReduce system collected while producing it — input/output sizes, the
 execution time of the producing job — plus reuse-tracking counters used by
 the ordering rules and the eviction rules.
+
+Two operational counter families ride along:
+
+* :class:`MatchCounters` — per-workflow accounting of *why* repository
+  candidates offered to the matcher were not used (missing output file,
+  failed containment), attached to every
+  :class:`~repro.restore.manager.ReStoreReport`;
+* :class:`ShardStats` — per-shard probe/candidate/hit/occupancy counters
+  maintained by :class:`~repro.restore.sharding.ShardedRepository`.
 """
 
 
@@ -48,3 +57,95 @@ class EntryStats:
             f"EntryStats(in={self.input_bytes}B, out={self.output_bytes}B, "
             f"time={self.producing_job_time:.1f}s, uses={self.use_count})"
         )
+
+
+class MatchCounters:
+    """Why matcher candidates were (not) used, for one workflow.
+
+    ``match_candidates`` narrows the repository to entries that *could*
+    match; this records what happened to each candidate the matcher then
+    actually tried:
+
+    * ``matched`` — containment held and the job was rewritten;
+    * ``skipped_missing_output`` — the entry's stored file is gone from
+      the DFS (evicted externally, or deleted by an operator);
+    * ``skipped_no_containment`` — the candidate survived the load-index
+      (or shard-merge) filter but the exact containment test failed.
+
+    The split explains reports beyond "how many rewrites happened": a
+    high ``skipped_no_containment`` count means the candidate filter is
+    loose for this workload, a high ``skipped_missing_output`` count
+    means the repository is stale relative to the DFS.
+    """
+
+    __slots__ = ("candidates_tried", "matched", "skipped_missing_output",
+                 "skipped_no_containment")
+
+    def __init__(self):
+        self.candidates_tried = 0
+        self.matched = 0
+        self.skipped_missing_output = 0
+        self.skipped_no_containment = 0
+
+    @property
+    def skipped(self):
+        return self.skipped_missing_output + self.skipped_no_containment
+
+    def as_dict(self):
+        return {
+            "candidates_tried": self.candidates_tried,
+            "matched": self.matched,
+            "skipped_missing_output": self.skipped_missing_output,
+            "skipped_no_containment": self.skipped_no_containment,
+        }
+
+    def describe(self):
+        return (
+            f"{self.candidates_tried} candidate(s) tried: "
+            f"{self.matched} matched, "
+            f"{self.skipped_missing_output} skipped (missing output), "
+            f"{self.skipped_no_containment} skipped (no containment)"
+        )
+
+    def __repr__(self):
+        return f"MatchCounters({self.describe()})"
+
+
+class ShardStats:
+    """Probe/candidate/hit counters for one repository shard.
+
+    ``occupancy`` is the shard's current entry count (maintained by the
+    owning :class:`~repro.restore.sharding.ShardedRepository`), ``probes``
+    counts ``match_candidates`` fan-outs that consulted this shard,
+    ``candidates_returned`` the entries it contributed to merged candidate
+    lists, and ``match_hits`` the rewrites that used one of its entries.
+    """
+
+    __slots__ = ("shard_id", "occupancy", "probes", "candidates_returned",
+                 "match_hits")
+
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+        self.occupancy = 0
+        self.probes = 0
+        self.candidates_returned = 0
+        self.match_hits = 0
+
+    def as_dict(self):
+        return {
+            "shard": self.shard_id,
+            "occupancy": self.occupancy,
+            "probes": self.probes,
+            "candidates_returned": self.candidates_returned,
+            "match_hits": self.match_hits,
+        }
+
+    def describe(self):
+        return (
+            f"shard {self.shard_id}: {self.occupancy} entr(ies), "
+            f"{self.probes} probe(s), {self.candidates_returned} candidate(s), "
+            f"{self.match_hits} hit(s)"
+        )
+
+    def __repr__(self):
+        return f"ShardStats({self.describe()})"

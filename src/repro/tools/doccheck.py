@@ -1,0 +1,84 @@
+"""Check intra-repo links in markdown docs (CI's ``docs`` job).
+
+Scans markdown files for inline links and images (``[text](target)``)
+and fails when a relative target does not exist on disk, so README and
+docs references cannot rot silently as files move. External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a relative target's own ``#anchor`` suffix is ignored.
+
+Usage::
+
+    python -m repro.tools.doccheck README.md docs ROADMAP.md
+
+Each argument is a markdown file or a directory scanned recursively for
+``*.md``. Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+#: inline markdown link/image: [text](target) — target captured lazily,
+#: stopping at the first unescaped closing parenthesis.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(arguments):
+    for argument in arguments:
+        if os.path.isdir(argument):
+            for root, _dirs, files in os.walk(argument):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield argument
+
+
+def check_file(path):
+    """Broken links in one markdown file as (line, target) pairs."""
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not os.path.exists(os.path.join(base, relative)):
+                    broken.append((line_number, target))
+    return broken
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.tools.doccheck FILE_OR_DIR...",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files(argv):
+        if not os.path.exists(path):
+            print(f"doccheck: no such file: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for line_number, target in check_file(path):
+            print(f"{path}:{line_number}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"doccheck: {failures} problem(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"doccheck: {checked} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Docs hygiene: intra-repo links resolve and the examples compile.
+
+The CI ``docs`` job runs the same checks standalone
+(``python -m repro.tools.doccheck`` + ``compileall``); running them in
+tier-1 too means a broken README link fails locally before it reaches
+CI.
+"""
+
+import os
+import py_compile
+
+from repro.tools.doccheck import check_file, iter_markdown_files, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_TARGETS = ["README.md", "docs", "ROADMAP.md", "CHANGES.md"]
+
+
+def _repo_path(*parts):
+    return os.path.join(REPO_ROOT, *parts)
+
+
+class TestRepoDocs:
+    def test_expected_docs_exist(self):
+        assert os.path.exists(_repo_path("README.md"))
+        assert os.path.exists(_repo_path("docs", "ARCHITECTURE.md"))
+
+    def test_no_broken_intra_repo_links(self):
+        problems = []
+        for path in iter_markdown_files([_repo_path(t) for t in DOC_TARGETS]):
+            problems.extend((path, line, target)
+                            for line, target in check_file(path))
+        assert problems == []
+
+    def test_doccheck_cli_passes_on_repo(self, capsys):
+        assert main([_repo_path(t) for t in DOC_TARGETS]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_readme_covers_required_sections(self):
+        with open(_repo_path("README.md"), encoding="utf-8") as handle:
+            readme = handle.read()
+        # The pieces the README must keep: quickstart, verify command,
+        # package map, and the benchmark-figure index.
+        assert "examples/quickstart.py" in readme
+        assert "python -m pytest -x -q" in readme
+        for package in ("piglatin", "logical", "mrcompiler", "mapreduce",
+                        "restore"):
+            assert package in readme
+        for figure in range(9, 18):
+            assert f"bench_fig{figure:02d}" in readme
+
+    def test_architecture_covers_required_topics(self):
+        with open(_repo_path("docs", "ARCHITECTURE.md"),
+                  encoding="utf-8") as handle:
+            text = handle.read()
+        for topic in ("lifecycle", "fingerprint", "shard", "manifest",
+                      "restore-manifest"):
+            assert topic in text.lower()
+
+
+class TestDoccheckTool:
+    def test_detects_broken_link(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("see [missing](does/not/exist.md) here\n",
+                       encoding="utf-8")
+        broken = check_file(str(doc))
+        assert broken == [(1, "does/not/exist.md")]
+        assert main([str(doc)]) == 1
+
+    def test_skips_external_and_anchor_links(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text(
+            "[web](https://example.com) [mail](mailto:a@b.c) "
+            "[anchor](#section)\n",
+            encoding="utf-8")
+        assert check_file(str(doc)) == []
+
+    def test_anchor_suffix_on_relative_link_ignored(self, tmp_path):
+        (tmp_path / "other.md").write_text("# t\n", encoding="utf-8")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[t](other.md#t) [bad](gone.md#t)\n", encoding="utf-8")
+        assert check_file(str(doc)) == [(1, "gone.md#t")]
+
+    def test_directory_scan_recurses(self, tmp_path):
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        (nested / "deep.md").write_text("[x](nope.md)\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+
+    def test_missing_argument_file_fails(self):
+        assert main(["/no/such/file.md"]) == 1
+
+    def test_no_arguments_is_usage_error(self):
+        assert main([]) == 2
+
+
+class TestExamplesCompile:
+    def test_examples_compile(self, tmp_path):
+        """Every example must byte-compile — the CI docs job runs
+        `python -m compileall examples/` so documented examples cannot
+        rot silently. Compiled files go to a temp dir to keep the
+        working tree clean."""
+        for name in sorted(os.listdir(_repo_path("examples"))):
+            if name.endswith(".py"):
+                py_compile.compile(_repo_path("examples", name),
+                                   cfile=str(tmp_path / (name + "c")),
+                                   doraise=True)
+
+    def test_examples_have_main(self):
+        for name in os.listdir(_repo_path("examples")):
+            if name.endswith(".py"):
+                with open(_repo_path("examples", name),
+                          encoding="utf-8") as handle:
+                    assert "def main():" in handle.read(), name

@@ -11,6 +11,13 @@ the frozen seed implementation
 streams, and must produce identical scan orders, identical
 ``find_equivalent`` results, identical match decisions, and identical
 :class:`~repro.restore.ReStoreReport` contents.
+
+The third family (PR 2): **sharding never changes decisions either**.
+:class:`~repro.restore.ShardedRepository` at shard counts 1, 2, and 8
+joins the same lock-step streams: every implementation must agree with
+the seed on scan order and matching, and the sharded candidate sequences
+(per-shard probes merged back into priority order) must be identical to
+the indexed repository's.
 """
 
 import random
@@ -24,7 +31,12 @@ from repro.logical import build_logical_plan
 from repro.physical import logical_to_physical
 from repro.physical.operators import POLoad
 from repro.piglatin import parse_query
-from repro.restore import LinearScanRepository, Repository, RepositoryEntry
+from repro.restore import (
+    LinearScanRepository,
+    Repository,
+    RepositoryEntry,
+    ShardedRepository,
+)
 from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
 from repro.restore.stats import EntryStats
 
@@ -165,11 +177,13 @@ def test_property_prefix_queries_share_work(rows, transforms):
             == check.dfs.read_lines("/out/extended"))
 
 
-# --- Indexed repository vs the frozen seed linear scan (PR 1) -----------------
+# --- Indexed + sharded repositories vs the frozen seed linear scan ------------
 #
-# The indexed Repository must be observationally identical to the seed's
+# The indexed Repository (PR 1) and the ShardedRepository at several
+# shard counts (PR 2) must be observationally identical to the seed's
 # sequential-scan implementation: same scan order, same find_equivalent
-# answers, same match decisions. These tests drive both in lock-step.
+# answers, same match decisions. These tests drive all of them in
+# lock-step over randomized insert/remove/probe streams.
 
 _POOL_QUERIES = []
 for _ds in ("/data/t", "/data/u"):
@@ -223,24 +237,34 @@ def _first_match_path(candidates, probe_plan):
     return None
 
 
-def _assert_repos_agree(indexed, seed, context):
-    assert [e.output_path for e in indexed.scan()] == \
-        [e.output_path for e in seed.scan()], context
+def _repository_fleet():
+    """Every repository implementation that must be observationally
+    identical to the seed linear scan, labelled for failure messages."""
+    return [
+        ("indexed", Repository()),
+        ("sharded-1", ShardedRepository(num_shards=1)),
+        ("sharded-2", ShardedRepository(num_shards=2)),
+        ("sharded-8", ShardedRepository(num_shards=8)),
+    ]
 
 
-def test_property_indexed_repository_equivalent_to_seed(plan_pool):
+def test_property_repositories_equivalent_to_seed(plan_pool):
     """200 randomized workflow streams of inserts/removals/probes: the
-    indexed repository and the frozen seed linear scan must produce
-    identical scan orders, find_equivalent results, and match decisions
-    after every single operation."""
+    indexed repository and the sharded repository (1, 2, and 8 shards)
+    must produce scan orders, find_equivalent results, and match
+    decisions identical to the frozen seed linear scan after every
+    single operation — and the sharded candidate sequences must be
+    identical to the indexed repository's (the shard merge restores the
+    global priority order exactly)."""
     for stream in range(200):
         rng = random.Random(1000 + stream)
-        indexed, seed = Repository(), LinearScanRepository()
-        pairs = {}  # output_path -> (indexed entry, seed entry)
+        fleet = _repository_fleet()
+        seed = LinearScanRepository()
+        twins = {}  # output_path -> [entry per fleet repo..., seed entry]
         for step in range(rng.randint(6, 14)):
             context = f"stream={stream} step={step}"
             action = rng.random()
-            if action < 0.60 or not pairs:
+            if action < 0.60 or not twins:
                 pool_index = rng.randrange(len(plan_pool))
                 version = rng.choice([0, 0, 0, 1, 2])
                 plan = _pool_plan(plan_pool, pool_index, version)
@@ -250,36 +274,52 @@ def test_property_indexed_repository_equivalent_to_seed(plan_pool):
                     producing_job_time=rng.choice([1.0, 5.0, 60.0]),
                 )
                 path = f"/stored/s{stream}-{step}"
-                pair = (RepositoryEntry(plan, path, stats),
-                        RepositoryEntry(plan, path, stats))
-                indexed.insert(pair[0])
-                seed.insert(pair[1])
-                pairs[path] = pair
+                entries = [RepositoryEntry(plan, path, stats)
+                           for _ in range(len(fleet) + 1)]
+                for (_, repo), entry in zip(fleet, entries):
+                    repo.insert(entry)
+                seed.insert(entries[-1])
+                twins[path] = entries
             elif action < 0.75:
-                victim = indexed.scan()[rng.randrange(len(indexed))]
-                pair = pairs.pop(victim.output_path)
-                indexed.remove(pair[0])
-                seed.remove(pair[1])
+                victim = seed.scan()[rng.randrange(len(seed))]
+                entries = twins.pop(victim.output_path)
+                for (_, repo), entry in zip(fleet, entries):
+                    repo.remove(entry)
+                seed.remove(entries[-1])
             else:
                 probe = _pool_plan(plan_pool, rng.randrange(len(plan_pool)),
                                    rng.choice([0, 0, 1]))
-                found = indexed.find_equivalent(probe)
                 expected = seed.find_equivalent(probe)
-                assert (found is None) == (expected is None), context
-                if found is not None:
-                    assert found.output_path == expected.output_path, context
-                # Match decision: the load-index-filtered candidate walk
-                # must pick the same first match as the seed's full scan,
-                # and must not drop any matching entry.
-                assert _first_match_path(indexed.match_candidates(probe), probe) \
-                    == _first_match_path(seed.scan(), probe), context
-                candidate_paths = {e.output_path
-                                   for e in indexed.match_candidates(probe)}
-                skipped = [e for e in seed.scan()
-                           if e.output_path not in candidate_paths]
-                assert all(find_containment(e.plan, probe) is None
-                           for e in skipped), context
-            _assert_repos_agree(indexed, seed, context)
+                expected_first = _first_match_path(seed.scan(), probe)
+                indexed_candidates = None
+                for name, repo in fleet:
+                    found = repo.find_equivalent(probe)
+                    assert (found is None) == (expected is None), (context, name)
+                    if found is not None:
+                        assert found.output_path == expected.output_path, \
+                            (context, name)
+                    # Match decision: the filtered (and, for shards,
+                    # fanned-out-and-merged) candidate walk must pick the
+                    # same first match as the seed's full scan, and must
+                    # not drop any matching entry.
+                    candidates = [e.output_path
+                                  for e in repo.match_candidates(probe)]
+                    assert _first_match_path(repo.match_candidates(probe),
+                                             probe) == expected_first, \
+                        (context, name)
+                    skipped = [e for e in seed.scan()
+                               if e.output_path not in set(candidates)]
+                    assert all(find_containment(e.plan, probe) is None
+                               for e in skipped), (context, name)
+                    if indexed_candidates is None:
+                        indexed_candidates = candidates
+                    else:
+                        # The shard merge must reproduce the indexed
+                        # repository's candidate sequence exactly.
+                        assert candidates == indexed_candidates, (context, name)
+            for name, repo in fleet:
+                assert [e.output_path for e in repo.scan()] == \
+                    [e.output_path for e in seed.scan()], (context, name)
 
 
 def _normalize(path, manager):
@@ -307,10 +347,13 @@ def _report_shape(manager):
 
 
 def test_property_manager_decisions_match_seed_repository():
-    """Randomized workflow streams through two full ReStore managers —
-    one on the indexed repository, one on the frozen seed linear scan —
-    must make identical rewrite/eliminate/register decisions and produce
-    identical outputs."""
+    """Randomized workflow streams through full ReStore managers — on
+    the indexed repository, on sharded repositories (2 and 8 shards),
+    and on the frozen seed linear scan — must make identical
+    rewrite/eliminate/register decisions and produce identical outputs.
+    The indexed and sharded managers must additionally agree on the
+    match counters (the seed tries more candidates, so its skip counts
+    legitimately differ)."""
     for stream in range(25):
         rng = random.Random(7000 + stream)
         rows = [
@@ -327,19 +370,30 @@ def test_property_manager_decisions_match_seed_repository():
                            .replace("/out/result", f"/out/s{q}"))
 
         managers = []
-        for repository in (Repository(), LinearScanRepository()):
+        repositories = (Repository(), ShardedRepository(num_shards=2),
+                        ShardedRepository(num_shards=8),
+                        LinearScanRepository())
+        for repository in repositories:
             system = PigSystem()
             system.dfs.write_lines(
                 "/data/t", [encode_row(r, SCHEMA) for r in rows])
             manager = system.restore(repository=repository)
-            shapes = []
+            shapes, counters = [], []
             for name_index, query in enumerate(queries):
                 manager.submit(system.compile(query, f"s{name_index}"))
                 shapes.append(_report_shape(manager))
+                counters.append(manager.last_report.match_counters.as_dict())
             outputs = {f"/out/s{q}": system.dfs.read_lines(f"/out/s{q}")
                        for q in range(len(queries))}
-            managers.append((shapes, outputs))
+            managers.append((shapes, outputs, counters))
 
-        (indexed_shapes, indexed_outputs), (seed_shapes, seed_outputs) = managers
-        assert indexed_shapes == seed_shapes, f"stream={stream}"
-        assert indexed_outputs == seed_outputs, f"stream={stream}"
+        seed_shapes, seed_outputs, _ = managers[-1]
+        indexed_counters = managers[0][2]
+        for (shapes, outputs, counters), repository in zip(managers[:-1],
+                                                           repositories[:-1]):
+            label = f"stream={stream} repo={type(repository).__name__}"
+            assert shapes == seed_shapes, label
+            assert outputs == seed_outputs, label
+            # Indexed and sharded managers see identical candidate
+            # sequences, so their skip accounting must match too.
+            assert counters == indexed_counters, label

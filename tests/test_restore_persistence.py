@@ -8,11 +8,18 @@ from repro import PigSystem
 from repro.common.errors import RepositoryError
 from repro.data import DataType, Field, Schema
 from repro.physical.operators import POLoad
-from repro.restore import leaf_loads, load_repository, save_repository
+from repro.restore import (
+    leaf_loads,
+    load_repository,
+    Repository,
+    save_repository,
+    ShardedRepository,
+)
 from repro.restore.matcher import contains, find_containment
 from repro.restore.persistence import (
     entry_from_json,
     entry_to_json,
+    MANIFEST_KEY,
     plan_from_json,
     plan_to_json,
     schema_from_json,
@@ -233,3 +240,110 @@ class TestIndexRoundtrip:
         job = system.compile(Q2_TEXT).topological_jobs()[0]
         assert [e.output_path for e in reloaded.match_candidates(job.plan)] \
             == [e.output_path for e in original.match_candidates(job.plan)]
+
+
+class TestShardedPersistence:
+    """PR 2: the v2 manifest + per-shard-section format, and backward
+    compatibility of pre-shard v1 files with sharded deployments."""
+
+    def _populated(self, repository):
+        system = pigmix_system()
+        restore = system.restore(repository=repository)
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        return system, restore.repository
+
+    def test_sharded_save_writes_manifest_and_sections(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs)
+        lines = system.dfs.read_lines("/restore/repository.jsonl")
+        manifest = json.loads(lines[0])
+        assert manifest[MANIFEST_KEY] == 2
+        assert manifest["num_shards"] == 4
+        assert manifest["entries"] == len(repository) == len(lines) - 1
+        # Section counts add up, and the body is grouped by shard:
+        # positions within the file are contiguous runs per shard.
+        assert sum(s["entries"] for s in manifest["sections"]) == len(repository)
+        records = [json.loads(line) for line in lines[1:]]
+        cursor = 0
+        for section in manifest["sections"]:
+            run = records[cursor:cursor + section["entries"]]
+            cursor += section["entries"]
+            for record in run:
+                assert "position" in record and "entry" in record
+
+    def test_sharded_roundtrip_preserves_order_and_layout(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs)
+        reloaded = load_repository(system.dfs)
+        assert isinstance(reloaded, ShardedRepository)
+        assert reloaded.num_shards == 4
+        assert [e.output_path for e in reloaded.scan()] == \
+            [e.output_path for e in repository.scan()]
+        assert [[e.output_path for e in shard] for shard in reloaded.partitions()] \
+            == [[e.output_path for e in shard] for shard in repository.partitions()]
+
+    def test_sharded_save_is_deterministic(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs, "/restore/a")
+        save_repository(repository, system.dfs, "/restore/b")
+        assert (system.dfs.read_lines("/restore/a")
+                == system.dfs.read_lines("/restore/b"))
+
+    def test_legacy_single_file_loads_into_sharded_repository(self):
+        """Satellite: a pre-shard v1 JSONL file must load into a
+        ShardedRepository with identical scan order and match decisions."""
+        system, plain = self._populated(Repository())
+        save_repository(plain, system.dfs)  # v1 single-file format
+        migrated = load_repository(system.dfs,
+                                   repository=ShardedRepository(num_shards=8))
+        assert isinstance(migrated, ShardedRepository)
+        assert [e.output_path for e in migrated.scan()] == \
+            [e.output_path for e in plain.scan()]
+        job = system.compile(Q2_TEXT).topological_jobs()[0]
+        assert [e.output_path for e in migrated.match_candidates(job.plan)] \
+            == [e.output_path for e in plain.match_candidates(job.plan)]
+        for entry in plain.scan():
+            found = migrated.find_equivalent(entry.plan)
+            assert found is not None
+            assert found.output_path == entry.output_path
+
+    def test_legacy_reuse_through_migrated_manager(self):
+        """End to end: v1 file -> sharded repository -> Q2 still reuses."""
+        system, plain = self._populated(Repository())
+        save_repository(plain, system.dfs)
+        baseline = pigmix_system()
+        baseline.run(Q2_TEXT)
+        expected = baseline.dfs.read_lines("/out/L3_out")
+        migrated = load_repository(system.dfs,
+                                   repository=ShardedRepository(num_shards=4))
+        fresh = system.restore(repository=migrated,
+                               enable_registration=False, heuristic=None)
+        fresh.submit(system.compile(Q2_TEXT))
+        assert fresh.last_report.num_rewrites >= 1
+        assert system.dfs.read_lines("/out/L3_out") == expected
+
+    def test_sharded_file_loads_into_plain_repository(self):
+        """Migration works in the other direction too."""
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs)
+        downgraded = load_repository(system.dfs, repository=Repository())
+        assert type(downgraded) is Repository
+        assert [e.output_path for e in downgraded.scan()] == \
+            [e.output_path for e in repository.scan()]
+
+    def test_truncated_sharded_file_rejected(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs)
+        lines = system.dfs.read_lines("/restore/repository.jsonl")
+        system.dfs.write_lines("/restore/truncated", lines[:-1], overwrite=True)
+        with pytest.raises(RepositoryError):
+            load_repository(system.dfs, "/restore/truncated")
+
+    def test_future_format_version_rejected(self):
+        system = pigmix_system()
+        manifest = json.dumps({MANIFEST_KEY: 99, "num_shards": 2,
+                               "entries": 0, "sections": []})
+        system.dfs.write_lines("/restore/future", [manifest], overwrite=True)
+        with pytest.raises(RepositoryError):
+            load_repository(system.dfs, "/restore/future")

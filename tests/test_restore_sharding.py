@@ -1,0 +1,264 @@
+"""Unit tests for the sharded repository (layout, fan-out, executors,
+per-shard statistics, and the manager integration)."""
+
+import pytest
+
+from repro import PigSystem
+from repro.common.errors import RepositoryError
+from repro.physical.operators import POLoad, POStore
+from repro.physical.plan import PhysicalPlan
+from repro.restore import Repository, RepositoryEntry, ShardedRepository
+from repro.restore.persistence import SkeletonOp
+from repro.restore.sharding import (
+    CATCHALL_SHARD,
+    SerialExecutor,
+    shard_index_for_key,
+    ThreadPoolProbeExecutor,
+)
+from repro.restore.stats import EntryStats
+
+from tests.helpers import Q1_TEXT, Q2_TEXT, seed_page_views, seed_users
+
+
+def _chain_plan(index, path, extra_op=None):
+    """Load -> Filter [-> ForEach] -> Store skeleton plan (cheap fixture)."""
+    load = POLoad(path, None, 0)
+    chain = SkeletonOp("filter", f"FILTER[a>{index}]", None, [load])
+    if extra_op is not None:
+        chain = SkeletonOp("foreach", f"FOREACH[{extra_op}]", None, [chain])
+    return PhysicalPlan([POStore(chain, f"/stored/s{index}")])
+
+
+def _entry(index, path="/data/d0"):
+    stats = EntryStats(input_bytes=1000 + index, output_bytes=10 + index,
+                       producing_job_time=1.0 + index)
+    return RepositoryEntry(_chain_plan(index, path), f"/stored/s{index}", stats)
+
+
+def _unkeyable_entry(index):
+    """An entry whose leaf Load cannot be keyed (foreign signature)."""
+    load = SkeletonOp("load", f"FOREIGN[{index}]", None, [])
+    chain = SkeletonOp("filter", f"FILTER[u>{index}]", None, [load])
+    plan = PhysicalPlan([POStore(chain, f"/stored/u{index}")])
+    stats = EntryStats(1000, 10, 1.0)
+    return RepositoryEntry(plan, f"/stored/u{index}", stats)
+
+
+def pigmix_system():
+    system = PigSystem()
+    seed_page_views(system.dfs)
+    seed_users(system.dfs, include=range(6))
+    return system
+
+
+class TestShardLayout:
+    def test_hash_is_stable_and_in_range(self):
+        key = ("/data/page_views", 3)
+        first = shard_index_for_key(key, 8)
+        assert first == shard_index_for_key(key, 8)  # deterministic
+        assert 0 <= first < 8
+        assert shard_index_for_key(key, 1) == 0
+
+    def test_every_entry_owned_by_exactly_one_shard(self):
+        repo = ShardedRepository(num_shards=4)
+        for index in range(20):
+            repo.insert(_entry(index, path=f"/data/d{index % 6}"))
+        occupancies = [len(shard) for shard in repo.partitions()]
+        assert sum(occupancies) == len(repo) == 20
+        # The same entry id never appears in two partitions.
+        seen = set()
+        for shard in repo.partitions():
+            for entry in shard:
+                assert entry.entry_id not in seen
+                seen.add(entry.entry_id)
+
+    def test_layout_reproducible_across_instances(self):
+        a, b = ShardedRepository(8), ShardedRepository(8)
+        for index in range(12):
+            path = f"/data/d{index % 5}"
+            a.insert(_entry(index, path))
+            b.insert(_entry(index, path))
+        layout_a = [[e.output_path for e in shard] for shard in a.partitions()]
+        layout_b = [[e.output_path for e in shard] for shard in b.partitions()]
+        assert layout_a == layout_b
+
+    def test_unkeyable_entries_live_in_catchall(self):
+        repo = ShardedRepository(num_shards=4)
+        repo.insert(_unkeyable_entry(1))
+        report = repo.shard_report()
+        assert report[-1]["shard"] == CATCHALL_SHARD
+        assert report[-1]["occupancy"] == 1
+        assert all(row["occupancy"] == 0 for row in report[:-1])
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRepository(num_shards=0)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRepository(num_shards=2, executor="processes")
+
+
+class TestFanOut:
+    def test_probe_consults_only_owning_shards(self):
+        repo = ShardedRepository(num_shards=8)
+        for index in range(16):
+            repo.insert(_entry(index, path=f"/data/d{index % 4}"))
+        probe = _chain_plan(0, "/data/d0", extra_op="probe")
+        before = {shard.shard_id: shard.stats.probes
+                  for shard in repo.partitions()}
+        repo.match_candidates(probe)
+        probed = [shard.shard_id for shard in repo.partitions()
+                  if shard.stats.probes > before[shard.shard_id]]
+        # One load key -> at most one shard (catch-all is empty, skipped).
+        assert len(probed) == 1
+        assert probed[0] == shard_index_for_key(("/data/d0", 0), 8)
+
+    def test_occupied_catchall_always_consulted(self):
+        repo = ShardedRepository(num_shards=4)
+        repo.insert(_entry(0, path="/data/d0"))
+        unkeyable = _unkeyable_entry(1)
+        repo.insert(unkeyable)
+        probe = _chain_plan(0, "/data/d0", extra_op="probe")
+        candidates = repo.match_candidates(probe)
+        # The catch-all entry cannot be ruled out by the load filter, so
+        # it must be among the candidates (exactly as the unsharded
+        # repository treats unkeyable entries).
+        assert unkeyable in candidates
+
+    def test_candidates_match_unsharded_repository(self):
+        plain = Repository()
+        sharded = ShardedRepository(num_shards=8)
+        for index in range(30):
+            path = f"/data/d{index % 7}"
+            plain.insert(_entry(index, path))
+            sharded.insert(_entry(index, path))
+        for key_index in range(7):
+            probe = _chain_plan(1000 + key_index, f"/data/d{key_index}",
+                                extra_op="probe")
+            assert [e.output_path for e in sharded.match_candidates(probe)] \
+                == [e.output_path for e in plain.match_candidates(probe)]
+
+    def test_unkeyable_probe_falls_back_to_full_scan(self):
+        repo = ShardedRepository(num_shards=4)
+        for index in range(6):
+            repo.insert(_entry(index, path=f"/data/d{index % 2}"))
+        probe_load = SkeletonOp("load", "FOREIGN[p]", None, [])
+        probe_chain = SkeletonOp("filter", "FILTER[p]", None, [probe_load])
+        probe = PhysicalPlan([POStore(probe_chain, "/out/p")])
+        assert repo.match_candidates(probe) == repo.scan()
+
+    def test_removal_updates_shard(self):
+        repo = ShardedRepository(num_shards=4)
+        entries = [repo.insert(_entry(index, path=f"/data/d{index % 3}"))
+                   for index in range(9)]
+        repo.remove(entries[4])
+        assert sum(len(shard) for shard in repo.partitions()) == 8
+        probe = _chain_plan(4, f"/data/d{4 % 3}", extra_op="probe")
+        assert entries[4] not in repo.match_candidates(probe)
+        with pytest.raises(RepositoryError):
+            repo.remove(entries[4])
+
+
+class TestExecutors:
+    def test_thread_pool_matches_serial(self):
+        serial = ShardedRepository(num_shards=8, executor="serial")
+        threaded = ShardedRepository(num_shards=8, executor="threads",
+                                     max_workers=4)
+        for index in range(40):
+            path = f"/data/d{index % 5}"
+            serial.insert(_entry(index, path))
+            threaded.insert(_entry(index, path))
+        # Multi-load probe: fans out to several shards through the pool.
+        load_a = POLoad("/data/d0", None, 0)
+        load_b = POLoad("/data/d1", None, 0)
+        join = SkeletonOp("join", "JOIN[k]", None, [load_a, load_b])
+        probe = PhysicalPlan([POStore(join, "/out/j")])
+        assert [e.output_path for e in threaded.match_candidates(probe)] \
+            == [e.output_path for e in serial.match_candidates(probe)]
+        threaded.close()
+        threaded.close()  # idempotent
+
+    def test_custom_executor_object(self):
+        calls = []
+
+        class Recorder(SerialExecutor):
+            def map(self, fn, items):
+                calls.append(len(items))
+                return super().map(fn, items)
+
+        repo = ShardedRepository(num_shards=4, executor=Recorder())
+        for index in range(8):
+            repo.insert(_entry(index, path=f"/data/d{index % 4}"))
+        probe = _chain_plan(0, "/data/d0", extra_op="probe")
+        repo.match_candidates(probe)
+        assert calls  # the pluggable executor actually ran the probes
+
+    def test_thread_executor_single_shard_skips_pool(self):
+        executor = ThreadPoolProbeExecutor()
+        assert executor.map(lambda x: x + 1, [41]) == [42]
+        assert executor._pool is None  # no pool spun up for one item
+        executor.close()
+
+
+class TestShardStats:
+    def test_probe_and_candidate_counters(self):
+        repo = ShardedRepository(num_shards=2)
+        for index in range(10):
+            repo.insert(_entry(index, path="/data/d0"))
+        probe = _chain_plan(3, "/data/d0")  # equivalent to entry 3
+        repo.match_candidates(probe)
+        owning = shard_index_for_key(("/data/d0", 0), 2)
+        report = {row["shard"]: row for row in repo.shard_report()}
+        assert report[owning]["probes"] == 1
+        assert report[owning]["candidates_returned"] == 10
+        assert report[owning]["occupancy"] == 10
+
+    def test_match_hits_credited_to_owning_shard(self):
+        system = pigmix_system()
+        repository = ShardedRepository(num_shards=4)
+        restore = system.restore(repository=repository)
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        assert restore.last_report.num_rewrites >= 1
+        assert sum(row["match_hits"]
+                   for row in repository.shard_report()) >= 1
+
+    def test_describe_mentions_shards(self):
+        repo = ShardedRepository(num_shards=3)
+        repo.insert(_entry(0))
+        text = repo.describe()
+        assert "3 shard(s)" in text
+        assert "shard 0" in text
+
+
+class TestManagerParity:
+    """A ReStore manager behaves identically on sharded and plain repos
+    (the property suite drives this at scale; this is the smoke path)."""
+
+    def test_quickstart_scenario_identical(self):
+        results = {}
+        for label, repository in (("plain", Repository()),
+                                  ("sharded", ShardedRepository(num_shards=8))):
+            system = pigmix_system()
+            restore = system.restore(repository=repository)
+            restore.submit(system.compile(Q1_TEXT))
+            restore.submit(system.compile(Q2_TEXT))
+            results[label] = {
+                "rewrites": restore.last_report.num_rewrites,
+                "counters": restore.last_report.match_counters.as_dict(),
+                "entries": len(repository),
+                "output": system.dfs.read_lines("/out/L3_out"),
+            }
+        assert results["plain"] == results["sharded"]
+        assert results["sharded"]["rewrites"] >= 1
+
+    def test_find_equivalent_is_global_across_shards(self):
+        # Registering the same computation twice must dedup even when a
+        # second insert would land in a different shard's probe path:
+        # the fingerprint dict is global.
+        repo = ShardedRepository(num_shards=8)
+        entry = _entry(7, path="/data/d3")
+        repo.insert(entry)
+        duplicate_plan = _chain_plan(7, "/data/d3")
+        assert repo.find_equivalent(duplicate_plan) is entry
