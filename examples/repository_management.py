@@ -9,9 +9,13 @@ proposes four rules for a production deployment:
 4. evict outputs whose inputs were deleted or modified.
 
 This example submits a stream of queries under both policies, then
-modifies the source data to show Rule 4 invalidation, and finishes by
-running the same stream against a sharded repository to show the
-partitioned match path (identical decisions, per-shard counters).
+modifies the source data to show Rule 4 invalidation, runs the same
+stream against a sharded repository to show the partitioned match path
+(identical decisions, per-shard counters), and finishes with the
+cost-model candidate ranker: the matcher tries candidates
+best-estimated-savings-first, the report's ranking ledger shows
+estimated vs realized savings per rewrite, and the ranker choice is
+recorded in the persisted repository's manifest.
 
 Run:  python examples/repository_management.py
 """
@@ -22,6 +26,8 @@ from repro.pigmix.queries import query_text
 from repro.restore import (
     HeuristicRetentionPolicy,
     KeepEverythingPolicy,
+    load_repository,
+    save_repository,
     ShardedRepository,
 )
 
@@ -83,8 +89,35 @@ def main():
     for row in repository.shard_report():
         print(f"  shard {row['shard']:>2}: {row['occupancy']} entr(ies), "
               f"{row['probes']} probe(s), {row['match_hits']} hit(s)")
+    merged = repository.merged_shard_stats()
+    print(f"merged: {merged['probes']} logical probe(s) over "
+          f"{merged['shard_consults']} shard consult(s), "
+          f"{merged['match_hits']} hit(s)")
+    print("(per-shard probe counters count consultations — a probe that")
+    print(" fans out to an owned shard AND the catch-all appears in both")
+    print(" rows; the merged view counts each logical probe once)")
     print(f"last workflow's matcher: "
           f"{sharded.last_report.match_counters.describe()}")
+
+    print("\n=== cost-model ranking: best estimated savings first ===")
+    system = build_system()
+    ranked = system.restore(ranker="savings",
+                            repository=ShardedRepository(num_shards=4))
+    decisions = []
+    for name in stream:
+        ranked.submit(system.compile(query_text(name), name))
+        decisions.extend(ranked.last_report.ranking.decisions)
+    print(f"{len(decisions)} ranked rewrite(s) across the stream "
+          f"(estimated vs realized savings per decision):")
+    for decision in decisions[:6]:
+        print(f"  {decision.job_id} reused {decision.entry_id}: "
+              f"estimated {decision.estimated_savings:.1f}s, "
+              f"realized {decision.realized_savings:.1f}s")
+    save_repository(ranked.repository, system.dfs, ranker=ranked.ranker)
+    reloaded = load_repository(system.dfs)
+    if getattr(reloaded, "manifest_metadata", None):
+        print(f"persisted manifest records ranker="
+              f"{reloaded.manifest_metadata.get('ranker')!r}")
 
 
 if __name__ == "__main__":

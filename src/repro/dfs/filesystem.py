@@ -66,6 +66,12 @@ class DistributedFileSystem:
         self.replication = replication
         self.datanodes = [DataNode(node_id) for node_id in range(num_datanodes)]
         self._files = {}
+        # Last version of every deleted path: a re-created file must keep
+        # counting from there, or a delete + re-create would reset to v1
+        # and collide with versions recorded before the delete (stale
+        # repository entries would keep matching — Rule 4 would miss a
+        # "deleted AND re-created" input).
+        self._deleted_versions = {}
         self._clock = clock
         self._next_block_id = 0
 
@@ -85,6 +91,7 @@ class DistributedFileSystem:
         entry = self._files.pop(path, None)
         if entry is None:
             raise DfsError(f"cannot delete {path!r}: no such file")
+        self._deleted_versions[path] = entry.status.version
         for block in entry.blocks:
             for node_id in block.replicas:
                 self.datanodes[node_id].remove_block(block.block_id)
@@ -101,7 +108,11 @@ class DistributedFileSystem:
         Versions are *content-stable*: overwriting a file with different
         content bumps the version and modification tick (what eviction
         Rule 4 observes); rewriting identical content leaves both alone —
-        the dataset was not modified.
+        the dataset was not modified. Re-creating a previously *deleted*
+        path continues its old version sequence (the deletion itself was
+        a modification, and the old content is gone so stability cannot
+        be checked) — versions recorded before the delete never match
+        the re-created file.
         """
         if not path or not path.startswith("/"):
             raise DfsError(f"paths must be absolute, got {path!r}")
@@ -113,10 +124,14 @@ class DistributedFileSystem:
             return previous.status
         if previous is not None:
             self.delete(path)
+            # The path is re-created on the next line — it was never
+            # observably deleted, so drop the tombstone delete() left
+            # (the version carries over from `previous` directly).
+            self._deleted_versions.pop(path, None)
             version = previous.status.version + 1
             created = previous.status.created_tick
         else:
-            version = 1
+            version = self._deleted_versions.pop(path, 0) + 1
             created = self._now()
         blocks = self._place_blocks(path, lines)
         size_bytes = sum(block.num_bytes for block in blocks)

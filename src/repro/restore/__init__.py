@@ -53,7 +53,17 @@ global cross-shard dedup channel, fans ``match_candidates`` out only to
 the shards owning a job's load keys (through a pluggable serial or
 thread-pool executor), and merges per-shard candidates back into the
 paper's priority order — identical decisions, probe cost proportional to
-the owning shards instead of the whole repository. See
+the owning shards instead of the whole repository.
+
+Ranking (PR 3) makes the *order* of that merged candidate walk pluggable
+(:mod:`repro.restore.ranking`): the default
+:class:`~repro.restore.ranking.StructuralRanker` keeps the paper's
+priority order bit-identical to the seed, while
+:class:`~repro.restore.ranking.SavingsRanker` tries candidates by
+Equation-2 estimated savings (subsumption still a hard constraint, scan
+rank as the deterministic tiebreak); every applied rewrite's estimated
+vs realized savings is recorded on the
+:class:`~repro.restore.manager.ReStoreReport`'s ranking ledger. See
 ``docs/ARCHITECTURE.md`` for the full design.
 """
 
@@ -67,6 +77,12 @@ from repro.restore.index import leaf_loads, plan_fingerprint
 from repro.restore.manager import ReStore, ReStoreReport
 from repro.restore.matcher import find_containment, pairwise_plan_traversal
 from repro.restore.persistence import load_repository, save_repository
+from repro.restore.ranking import (
+    CandidateRanker,
+    estimate_entry_savings,
+    SavingsRanker,
+    StructuralRanker,
+)
 from repro.restore.repository import Repository, RepositoryEntry
 from repro.restore.selector import (
     HeuristicRetentionPolicy,
@@ -76,7 +92,9 @@ from repro.restore.sharding import ShardedRepository
 
 __all__ = [
     "AggressiveHeuristic",
+    "CandidateRanker",
     "ConservativeHeuristic",
+    "estimate_entry_savings",
     "find_containment",
     "HeuristicRetentionPolicy",
     "KeepEverythingPolicy",
@@ -91,5 +109,7 @@ __all__ = [
     "RepositoryEntry",
     "ReStore",
     "ReStoreReport",
+    "SavingsRanker",
     "ShardedRepository",
+    "StructuralRanker",
 ]

@@ -25,10 +25,15 @@ from repro.physical.plan import PhysicalPlan
 from repro.restore.enumerator import enumerate_and_inject
 from repro.restore.heuristics import AggressiveHeuristic
 from repro.restore.matcher import find_containment
+from repro.restore.ranking import (
+    estimate_entry_savings,
+    realized_entry_savings,
+    resolve_ranker,
+)
 from repro.restore.repository import Repository, RepositoryEntry
 from repro.restore.rewriter import apply_rewrite, classify_copy_stores, restamp_stages
 from repro.restore.selector import KeepEverythingPolicy
-from repro.restore.stats import EntryStats, MatchCounters
+from repro.restore.stats import EntryStats, MatchCounters, RankingLedger
 
 
 class ReStoreReport:
@@ -42,7 +47,7 @@ class ReStoreReport:
     DFS or because the exact containment test (paper Section 3) fails.
     """
 
-    def __init__(self, workflow_name):
+    def __init__(self, workflow_name, ranker_name="structural"):
         self.workflow_name = workflow_name
         self.rewrites = []            # (job_id, entry_id)
         self.eliminated_jobs = []     # job_ids fully served from the repository
@@ -51,6 +56,8 @@ class ReStoreReport:
         self.rejected_candidates = [] # paths rejected by the retention policy
         self.evicted_entries = []     # entry ids removed by the sweep
         self.match_counters = MatchCounters()  # why candidates were skipped
+        #: per-rewrite estimated vs realized savings (estimator error)
+        self.ranking = RankingLedger(ranker_name)
 
     @property
     def num_rewrites(self):
@@ -63,7 +70,8 @@ class ReStoreReport:
             f"{len(self.injected_stores)} store(s) injected, "
             f"{len(self.registered_entries)} entr(ies) registered, "
             f"{len(self.evicted_entries)} evicted; "
-            f"matcher: {self.match_counters.describe()}"
+            f"matcher: {self.match_counters.describe()}; "
+            f"{self.ranking.describe()}"
         )
 
 
@@ -83,6 +91,15 @@ class ReStore(JobControl):
     * ``retention`` — admission/eviction policy (paper default stores
       everything; :class:`~repro.restore.selector.HeuristicRetentionPolicy`
       implements Section 5's Rules 1-4);
+    * ``ranker`` — candidate try-order for the matcher: None or
+      ``"structural"`` for the paper's Section 3 priority order (the
+      default, bit-identical to the seed), ``"savings"`` for
+      :class:`~repro.restore.ranking.SavingsRanker` (best
+      cost-model-estimated savings first, subsumption still a hard
+      constraint), or any :class:`~repro.restore.ranking.CandidateRanker`
+      instance (the manager binds its cost model). A non-structural
+      ranker needs a ranking-capable repository (the indexed or sharded
+      one — not the frozen seed baseline);
     * ``enable_rewrite`` / ``enable_registration`` — turn the matcher or
       the repository population off (used by the experiments to measure
       overhead and no-reuse baselines).
@@ -98,11 +115,12 @@ class ReStore(JobControl):
     def __init__(self, dfs, cost_model, repository=None, heuristic=_DEFAULT,
                  retention=None, clock=None, enable_rewrite=True,
                  enable_registration=True, register_whole_jobs=True,
-                 register_final_outputs=True):
+                 register_final_outputs=True, ranker=None):
         super().__init__(dfs, cost_model, keep_temps=True)
         self.repository = repository if repository is not None else Repository()
         self.heuristic = AggressiveHeuristic() if heuristic is self._DEFAULT else heuristic
         self.retention = retention or KeepEverythingPolicy()
+        self.ranker = resolve_ranker(ranker, cost_model)
         self.clock = clock or LogicalClock()
         self.enable_rewrite = enable_rewrite
         self.enable_registration = enable_registration
@@ -133,7 +151,7 @@ class ReStore(JobControl):
         windows.
         """
         self.clock.tick()
-        self.last_report = ReStoreReport(workflow.name)
+        self.last_report = ReStoreReport(workflow.name, self.ranker.name)
         self._discard_paths = []
         result = self.run(workflow)
         for path in self._discard_paths:
@@ -207,7 +225,7 @@ class ReStore(JobControl):
         progressed = True
         while progressed:
             progressed = False
-            for entry in self.repository.match_candidates(job.plan):
+            for entry in self._match_candidates(job):
                 counters.candidates_tried += 1
                 if not self.dfs.exists(entry.output_path):
                     counters.skipped_missing_output += 1
@@ -216,6 +234,7 @@ class ReStore(JobControl):
                 if match is None:
                     counters.skipped_no_containment += 1
                     continue
+                self._record_ranking_decision(job, entry)
                 apply_rewrite(job, match, entry, self.dfs)
                 entry.stats.record_use(self.clock.now())
                 counters.matched += 1
@@ -224,6 +243,38 @@ class ReStore(JobControl):
                 self.last_report.rewrites.append((job.job_id, entry.entry_id))
                 progressed = True
                 break
+
+    def _record_ranking_decision(self, job, entry):
+        """Ledger one applied rewrite's estimated vs realized savings.
+
+        The estimate comes from the active ranker when it has one (so
+        the ledger logs exactly the number the ranker ranked by, even
+        when the ranker was constructed over a different cost model);
+        rankers that do not estimate — the structural default — get the
+        same accounting from the manager's cost model. Realized savings
+        re-evaluate against the same model, so the estimated-vs-realized
+        delta isolates estimator error, not model disagreement.
+        """
+        estimated = self.ranker.estimated_savings(entry)
+        model = getattr(self.ranker, "cost_model", None) or self.cost_model
+        if estimated is None:
+            estimated = estimate_entry_savings(entry, model)
+        self.last_report.ranking.record(
+            job.job_id, entry.entry_id, estimated,
+            realized_entry_savings(entry, model, self.dfs))
+
+    def _match_candidates(self, job):
+        """The repository's candidates for ``job``, in the ranker's
+        try order.
+
+        The structural default calls ``match_candidates(plan)`` exactly
+        as the seed did — keeping that path signature-identical is what
+        lets the lock-step property suite drive the frozen baseline
+        repository (which accepts no ranker) through this manager.
+        """
+        if self.ranker.is_structural:
+            return self.repository.match_candidates(job.plan)
+        return self.repository.match_candidates(job.plan, ranker=self.ranker)
 
     def _simplify(self, job, workflow):
         """Drop copy stores; eliminate the job when nothing remains.

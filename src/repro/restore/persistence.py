@@ -208,7 +208,8 @@ MANIFEST_KEY = "restore-manifest"
 MANIFEST_VERSION = 2
 
 
-def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH):
+def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
+                    ranker=None):
     """Persist the repository through the DFS.
 
     A plain :class:`Repository` is written in the v1 single-file format
@@ -216,15 +217,23 @@ def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH):
     :class:`~repro.restore.sharding.ShardedRepository` is written in the
     v2 format: a manifest header followed by per-shard sections whose
     lines carry each entry's global scan position.
+
+    ``ranker`` (a :class:`~repro.restore.ranking.CandidateRanker` or its
+    name) is recorded in the v2 manifest as deployment metadata — a
+    restarted service can see which candidate ranking the saved
+    repository was operated under. It does not affect the entries
+    themselves (ranking reorders probes, never state), and the v1 format
+    has no header to carry it.
     """
+    ranker_name = getattr(ranker, "name", ranker)
     if isinstance(repository, ShardedRepository):
-        return _save_sharded(repository, dfs, path)
+        return _save_sharded(repository, dfs, path, ranker_name)
     lines = [json.dumps(entry_to_json(entry), sort_keys=True)
              for entry in repository.scan()]
     return dfs.write_lines(path, lines, overwrite=True)
 
 
-def _save_sharded(repository, dfs, path):
+def _save_sharded(repository, dfs, path, ranker_name=None):
     positions = {entry.entry_id: position
                  for position, entry in enumerate(repository.scan())}
     partitions = repository.partitions()
@@ -240,12 +249,13 @@ def _save_sharded(repository, dfs, path):
                 {"position": positions[entry.entry_id],
                  "entry": entry_to_json(entry)},
                 sort_keys=True))
-    manifest = json.dumps(
-        {MANIFEST_KEY: MANIFEST_VERSION,
-         "num_shards": repository.num_shards,
-         "entries": len(repository),
-         "sections": sections},
-        sort_keys=True)
+    header = {MANIFEST_KEY: MANIFEST_VERSION,
+              "num_shards": repository.num_shards,
+              "entries": len(repository),
+              "sections": sections}
+    if ranker_name is not None:
+        header["ranker"] = ranker_name
+    manifest = json.dumps(header, sort_keys=True)
     return dfs.write_lines(path, [manifest] + body, overwrite=True)
 
 
@@ -288,6 +298,10 @@ def _load_sharded(manifest, body, repository):
             f"entr(ies), file holds {len(body)}")
     if repository is None:
         repository = ShardedRepository(num_shards=manifest["num_shards"])
+    # Surface the manifest (format version, shard count, ranker
+    # metadata) to the caller; harmless no-op on a plain Repository
+    # target, which simply gains the attribute.
+    repository.manifest_metadata = dict(manifest)
     records = [json.loads(line) for line in body]
     # Sections group lines by shard; the global priority order is the
     # insertion order that reproduces the saved scan order, so sort by

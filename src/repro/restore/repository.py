@@ -92,6 +92,9 @@ class RepositoryEntry:
         return f"<RepositoryEntry {self.entry_id} {self.output_path}>"
 
 
+_NO_EDGES = frozenset()
+
+
 def _priority(entry):
     # higher ratio first, then longer producing time, then age
     return (-entry.stats.reduction_ratio,
@@ -111,6 +114,8 @@ class Repository:
     def __init__(self):
         self._entries = []
         self._order = None            # cached immutable scan() snapshot
+        self._rank = None             # entry_id -> scan position
+        self._rank_for = None         # the scan() snapshot _rank was built from
         self._by_id = {}
         self._sequence = 0
         self._subsumption_cache = {}
@@ -143,15 +148,30 @@ class Repository:
             self._order = tuple(self._entries)
         return self._order
 
-    def match_candidates(self, plan):
-        """Entries that could be contained in ``plan``, in scan order.
+    def match_candidates(self, plan, ranker=None):
+        """Entries that could be contained in ``plan``, in try order.
 
         Containment maps every entry Load onto an equally-signed Load of
         the input plan, so only entries whose ``(path, version)`` load set
         is a subset of the plan's can match; all others are skipped
         without a containment test. Falls back to the full scan when the
         plan's loads cannot be keyed.
+
+        Without a ``ranker`` (or with a structural one) the candidates
+        come back in global scan order — the paper's priority order,
+        bit-identical to the seed. A non-structural
+        :class:`~repro.restore.ranking.CandidateRanker` reorders exactly
+        the same candidate *set* (ranking never adds or drops entries;
+        the property suite asserts the permutation).
         """
+        candidates = self._filtered_candidates(plan)
+        if ranker is None or ranker.is_structural:
+            return candidates
+        return tuple(ranker.order(candidates, self))
+
+    def _filtered_candidates(self, plan):
+        """The load-index filter half of :meth:`match_candidates`, in
+        scan order."""
         candidate_ids = self._load_index.candidate_ids(leaf_loads(plan))
         if candidate_ids is None:
             return self.scan()
@@ -159,6 +179,26 @@ class Repository:
             return ()
         return tuple(entry for entry in self.scan()
                      if entry.entry_id in candidate_ids)
+
+    def scan_rank(self):
+        """entry_id -> position in the global scan order (cached per
+        scan snapshot; invalidated automatically on insert/remove)."""
+        order = self.scan()
+        if self._rank_for is not order:
+            self._rank = {entry.entry_id: position
+                          for position, entry in enumerate(order)}
+            self._rank_for = order
+        return self._rank
+
+    def subsumption_edges_among(self, entry_ids):
+        """Strict-subsumption edges restricted to ``entry_ids``:
+        ``{a: {b, ...}}`` where entry ``a``'s plan strictly contains
+        entry ``b``'s. Rankers use this to keep the paper's rule 1 (a
+        container is tried before everything it subsumes) a hard
+        constraint while reordering the rest."""
+        ids = set(entry_ids)
+        return {entry_id: self._edges_out.get(entry_id, _NO_EDGES) & ids
+                for entry_id in ids}
 
     def entry(self, entry_id):
         """The entry with ``entry_id`` (:class:`RepositoryError` if absent)."""

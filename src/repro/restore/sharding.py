@@ -212,8 +212,10 @@ class ShardedRepository(Repository):
         self._catchall = RepositoryShard(CATCHALL_SHARD)
         self._shard_of = {}           # entry_id -> owning RepositoryShard
         self._executor = _resolve_executor(executor, max_workers)
-        self._rank = None             # entry_id -> global scan position
-        self._rank_for = None         # the scan() snapshot _rank was built from
+        self._logical_probes = 0      # match_candidates calls (fan-outs)
+        #: manifest header of the persisted file this repository was
+        #: loaded from (set by ``load_repository``), or None.
+        self.manifest_metadata = None
 
     # Shard layout -----------------------------------------------------------
 
@@ -238,8 +240,42 @@ class ShardedRepository(Repository):
 
     def shard_report(self):
         """Per-shard occupancy/probe/hit counters as a list of dicts
-        (catch-all last, shard id ``-1``), for operational reporting."""
+        (catch-all last, shard id ``-1``), for operational reporting.
+
+        Per-shard ``probes`` counts *consultations*: one logical match
+        probe that fans out to an owned shard **and** the occupied
+        catch-all shows up in both rows. Use :meth:`merged_shard_stats`
+        for repository-level totals — summing this column double-counts
+        every such probe.
+        """
         return [shard.stats.as_dict() for shard in self.partitions()]
+
+    def merged_shard_stats(self):
+        """Repository-level totals across all partitions.
+
+        ``probes`` is the number of **logical** ``match_candidates``
+        fan-outs, counted once per call at the repository level —
+        summing the per-shard probe counters instead would double-count
+        any probe that consulted both an owned shard and the occupied
+        catch-all (each partition counts its own consultation). The
+        summed figure is still reported as ``shard_consults``.
+        ``candidates_returned`` and ``match_hits`` are exact sums of the
+        per-partition counters — with the caveat that an unkeyable-plan
+        probe falls back to the global scan without consulting any
+        partition, so it contributes to ``probes`` but to neither
+        ``shard_consults`` nor ``candidates_returned`` (its rewrites are
+        still credited to the owning shard's ``match_hits``).
+        """
+        return {
+            "entries": len(self),
+            "probes": self._logical_probes,
+            "shard_consults": sum(shard.stats.probes
+                                  for shard in self.partitions()),
+            "candidates_returned": sum(shard.stats.candidates_returned
+                                       for shard in self.partitions()),
+            "match_hits": sum(shard.stats.match_hits
+                              for shard in self.partitions()),
+        }
 
     def record_match_hit(self, entry):
         """Credit a successful rewrite to the shard owning ``entry``
@@ -275,15 +311,21 @@ class ShardedRepository(Repository):
 
     # Matching ---------------------------------------------------------------
 
-    def match_candidates(self, plan):
+    def _filtered_candidates(self, plan):
         """Fan out to the shards owning ``plan``'s leaf-load keys, merge
         their candidates back into the global priority order.
 
-        A job touching k load keys consults at most k shards plus the
-        catch-all (only when the catch-all is occupied). Unkeyable plans
-        fall back to the full global scan, exactly like the unsharded
-        repository.
+        This is the sharded half of the inherited ``match_candidates``
+        (the ranker tail is shared base-class code, so both repository
+        flavors have one ranking path). A job touching k load keys
+        consults at most k shards plus the catch-all (only when the
+        catch-all is occupied). Unkeyable plans fall back to the full
+        global scan, exactly like the unsharded repository. Either way
+        this counts as **one** logical probe (see
+        :meth:`merged_shard_stats`), however many partitions it fans
+        out to.
         """
+        self._logical_probes += 1
         job_loads = leaf_loads(plan)
         if job_loads is None:
             return self.scan()
@@ -296,20 +338,10 @@ class ShardedRepository(Repository):
             return ()
         buckets = self._executor.map(lambda shard: shard.probe(job_loads),
                                      partitions)
-        rank = self._scan_rank()
-        merged = sorted((entry for bucket in buckets for entry in bucket),
-                        key=lambda entry: rank[entry.entry_id])
-        return tuple(merged)
-
-    def _scan_rank(self):
-        """entry_id -> position in the global scan order (cached per
-        scan snapshot; invalidated automatically on insert/remove)."""
-        order = self.scan()
-        if self._rank_for is not order:
-            self._rank = {entry.entry_id: position
-                          for position, entry in enumerate(order)}
-            self._rank_for = order
-        return self._rank
+        rank = self.scan_rank()
+        return tuple(sorted(
+            (entry for bucket in buckets for entry in bucket),
+            key=lambda entry: rank[entry.entry_id]))
 
     def describe(self):
         lines = [

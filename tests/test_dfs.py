@@ -62,6 +62,25 @@ class TestVersioning:
         assert second.modified_tick == 5
         assert second.created_tick == 0
 
+    def test_version_continues_across_delete_and_recreate(self):
+        # A deleted path's version sequence survives the delete: a
+        # re-created file must never collide with versions recorded
+        # before the delete (ReStore's Rule 4 compares exact versions).
+        dfs = small_dfs()
+        assert dfs.write_lines("/f", ["a"]).version == 1
+        assert dfs.write_lines("/f", ["b"], overwrite=True).version == 2
+        dfs.delete("/f")
+        assert dfs.write_lines("/f", ["c"]).version == 3
+        dfs.delete("/f")
+        # Even byte-identical content is a new version after a delete:
+        # the old lines are gone, so content stability cannot be proven.
+        assert dfs.write_lines("/f", ["c"]).version == 4
+
+    def test_identical_overwrite_still_version_stable(self):
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["a"])
+        assert dfs.write_lines("/f", ["a"], overwrite=True).version == 1
+
 
 class TestBlocksAndReplication:
     def test_multiple_blocks_created(self):

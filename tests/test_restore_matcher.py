@@ -1,12 +1,15 @@
 """Tests for plan containment matching (Algorithm 1)."""
 
+import random
+
 import pytest
 
 from repro.logical import build_logical_plan
 from repro.physical import logical_to_physical, PhysicalPlan
-from repro.physical.operators import POStore
+from repro.physical.operators import POLoad, POSplit, POStore
 from repro.piglatin import parse_query
 from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
+from repro.restore.persistence import SkeletonOp
 
 from tests.helpers import Q1_TEXT, Q2_TEXT
 
@@ -167,3 +170,179 @@ class TestPairwiseTraversal:
             target = physical(input_text)
             assert pairwise_plan_traversal(target, entry) is expected
             assert (find_containment(entry, target) is not None) is expected
+
+
+# --- Differential fuzzing: Algorithm 1 vs find_containment --------------------
+#
+# The two containment implementations must agree on arbitrary plan DAGs,
+# not just the plans the Pig compiler happens to produce: random
+# structural plans (skeleton operators over a small signature pool, so
+# collisions — and therefore matches — are frequent) with Splits
+# sprinkled in and multi-Store input plans. The only excluded entries
+# are the two documented boundary shapes, pinned by directed tests
+# below: bare Load->Store entries (no match frontier by design) and
+# multi-Store entries (find_containment rejects them outright).
+
+_FUZZ_PATHS = ["/data/a", "/data/b", "/data/c"]
+_FUZZ_UNARY = ["filter", "foreach", "distinct"]
+
+
+def _random_nodes(rng, *, allow_splits=True):
+    """A random operator DAG (as the list of all nodes, leaves first)."""
+    nodes = [POLoad(rng.choice(_FUZZ_PATHS), None, rng.choice([0, 0, 1]))
+             for _ in range(rng.randint(1, 2))]
+    for _ in range(rng.randint(1, 5)):
+        roll = rng.random()
+        if roll < 0.15 and len(nodes) >= 2:
+            left, right = rng.sample(nodes, 2)
+            node = SkeletonOp("join", f"JOIN[k{rng.randint(0, 1)}]", None,
+                              [left, right])
+        elif roll < 0.30 and allow_splits:
+            node = POSplit(rng.choice(nodes))
+        else:
+            kind = rng.choice(_FUZZ_UNARY)
+            node = SkeletonOp(kind, f"{kind.upper()}[t{rng.randint(0, 2)}]",
+                              None, [rng.choice(nodes)])
+        nodes.append(node)
+    return nodes
+
+
+def _skip_splits(op):
+    while op.kind == "split":
+        op = op.inputs[0]
+    return op
+
+
+def _random_entry_plan(rng):
+    """A single-Store entry plan over a random DAG; sometimes with a
+    Split directly under the Store (the shape match_frontier skips)."""
+    nodes = _random_nodes(rng)
+    frontiers = [op for op in nodes if _skip_splits(op).kind != "load"]
+    if not frontiers:
+        return None
+    frontier = rng.choice(frontiers)
+    if rng.random() < 0.25:
+        frontier = POSplit(frontier)
+    return PhysicalPlan([POStore(frontier, "/stored/fuzz")])
+
+
+def _random_input_plan(rng, entry_plan):
+    """A random input plan; half the time it embeds a clone of the
+    entry's computation (extended with extra operators and sometimes a
+    second Store), so positive containments are frequent."""
+    if entry_plan is not None and rng.random() < 0.5:
+        cloned, _ = entry_plan.clone()
+        node = cloned.stores()[0].inputs[0]
+        for _ in range(rng.randint(0, 3)):
+            kind = rng.choice(_FUZZ_UNARY)
+            node = SkeletonOp(kind, f"{kind.upper()}[t{rng.randint(0, 2)}]",
+                              None, [node])
+        sinks = [POStore(node, "/out/fuzz")]
+        extra_nodes = None
+    else:
+        extra_nodes = _random_nodes(rng)
+        sinks = [POStore(rng.choice(extra_nodes), "/out/fuzz")]
+    if extra_nodes is None and rng.random() < 0.3:
+        branch = _random_nodes(rng)
+        sinks.append(POStore(rng.choice(branch), "/out/fuzz2"))
+    elif extra_nodes is not None and rng.random() < 0.3:
+        sinks.append(POStore(rng.choice(extra_nodes), "/out/fuzz2"))
+    return PhysicalPlan(sinks)
+
+
+class TestDifferentialFuzz:
+    def test_algorithms_agree_on_300_random_plan_pairs(self):
+        rng = random.Random(20260726)
+        agreements = {True: 0, False: 0}
+        pairs = 0
+        while pairs < 300:
+            entry = _random_entry_plan(rng)
+            if entry is None:
+                continue
+            target = _random_input_plan(rng, entry)
+            pairs += 1
+            via_containment = find_containment(entry, target) is not None
+            via_traversal = pairwise_plan_traversal(target, entry)
+            assert via_containment == via_traversal, (
+                f"pair {pairs}: find_containment={via_containment}, "
+                f"pairwise_plan_traversal={via_traversal}\n"
+                f"entry:\n{entry.describe()}\ninput:\n{target.describe()}"
+            )
+            agreements[via_containment] += 1
+        # The fuzz must exercise both verdicts, or agreement is vacuous.
+        assert agreements[True] >= 30, agreements
+        assert agreements[False] >= 30, agreements
+
+    def test_split_under_entry_store_is_transparent_to_both(self):
+        # Regression for the Algorithm 1 transcription: an entry whose
+        # Store hangs off a Split must match exactly like the same entry
+        # without the Split (find_containment's match_frontier skips it;
+        # the traversal used to demand a literal Split twin and said no).
+        load = POLoad("/data/a", None, 0)
+        chain = SkeletonOp("filter", "FILTER[t0]", None, [load])
+        entry = PhysicalPlan([POStore(POSplit(chain), "/stored/s")])
+        target_chain = SkeletonOp(
+            "foreach", "FOREACH[x]", None,
+            [SkeletonOp("filter", "FILTER[t0]", None,
+                        [POLoad("/data/a", None, 0)])])
+        target = PhysicalPlan([POStore(target_chain, "/out/p")])
+        assert find_containment(entry, target) is not None
+        assert pairwise_plan_traversal(target, entry)
+
+    def test_interior_split_in_entry_blocks_both(self):
+        # A Split *between* entry operators is never produced by
+        # registration (clone_subgraph bypasses splits); both matchers
+        # conservatively reject such an entry the same way.
+        load = POLoad("/data/a", None, 0)
+        filt = SkeletonOp("filter", "FILTER[t0]", None, [load])
+        top = SkeletonOp("foreach", "FOREACH[x]", None, [POSplit(filt)])
+        entry = PhysicalPlan([POStore(top, "/stored/s")])
+        target_chain = SkeletonOp(
+            "foreach", "FOREACH[x]", None,
+            [SkeletonOp("filter", "FILTER[t0]", None,
+                        [POLoad("/data/a", None, 0)])])
+        target = PhysicalPlan([POStore(target_chain, "/out/p")])
+        assert find_containment(entry, target) is None
+        assert not pairwise_plan_traversal(target, entry)
+
+    def test_multi_store_input_plan_matches_in_either_branch(self):
+        entry = PhysicalPlan([POStore(
+            SkeletonOp("filter", "FILTER[t1]", None,
+                       [POLoad("/data/b", None, 0)]), "/stored/s")])
+        other = SkeletonOp("distinct", "DISTINCT[t0]", None,
+                           [POLoad("/data/a", None, 0)])
+        matching = SkeletonOp("filter", "FILTER[t1]", None,
+                              [POLoad("/data/b", None, 0)])
+        target = PhysicalPlan([POStore(other, "/out/p1"),
+                               POStore(matching, "/out/p2")])
+        assert find_containment(entry, target) is not None
+        assert pairwise_plan_traversal(target, entry)
+
+    def test_multi_store_entry_is_a_documented_boundary(self):
+        # Repository entries always have exactly one Store;
+        # find_containment enforces that loudly while Algorithm 1's
+        # transcription simply traverses whatever it is given. The fuzz
+        # generator therefore only emits single-Store entries.
+        shared = SkeletonOp("filter", "FILTER[t0]", None,
+                            [POLoad("/data/a", None, 0)])
+        entry = PhysicalPlan([POStore(shared, "/stored/s1"),
+                              POStore(shared, "/stored/s2")])
+        target = PhysicalPlan([POStore(
+            SkeletonOp("filter", "FILTER[t0]", None,
+                       [POLoad("/data/a", None, 0)]), "/out/p")])
+        with pytest.raises(ValueError):
+            find_containment(entry, target)
+        assert pairwise_plan_traversal(target, entry)
+
+    def test_bare_load_entry_is_a_documented_boundary(self):
+        # A Load->Store entry has no match frontier by design (replacing
+        # a Load with a Load is a useless rewrite), so find_containment
+        # answers None while the literal traversal — which only asks
+        # "does every entry operator have an equivalent" — says yes.
+        # This is the one shape the agreement property excludes.
+        entry = PhysicalPlan([POStore(POLoad("/data/a", None, 0), "/stored/s")])
+        target = PhysicalPlan([POStore(
+            SkeletonOp("filter", "FILTER[t0]", None,
+                       [POLoad("/data/a", None, 0)]), "/out/p")])
+        assert find_containment(entry, target) is None
+        assert pairwise_plan_traversal(target, entry)

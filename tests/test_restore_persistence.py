@@ -283,6 +283,40 @@ class TestShardedPersistence:
         assert [[e.output_path for e in shard] for shard in reloaded.partitions()] \
             == [[e.output_path for e in shard] for shard in repository.partitions()]
 
+    def test_manifest_records_ranker_metadata(self):
+        from repro.restore import SavingsRanker
+
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs, "/restore/by-name",
+                        ranker="savings")
+        save_repository(repository, system.dfs, "/restore/by-instance",
+                        ranker=SavingsRanker())
+        for path in ("/restore/by-name", "/restore/by-instance"):
+            manifest = json.loads(system.dfs.read_lines(path)[0])
+            assert manifest["ranker"] == "savings"
+        # Omitting the ranker omits the key (backward-compatible files).
+        save_repository(repository, system.dfs, "/restore/bare")
+        assert "ranker" not in json.loads(system.dfs.read_lines("/restore/bare")[0])
+
+    def test_loader_surfaces_manifest_metadata(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs, ranker="savings")
+        reloaded = load_repository(system.dfs)
+        assert reloaded.manifest_metadata["ranker"] == "savings"
+        assert reloaded.manifest_metadata["num_shards"] == 4
+        # A freshly constructed repository has no manifest provenance.
+        assert ShardedRepository(num_shards=2).manifest_metadata is None
+
+    def test_ranker_metadata_does_not_change_reloaded_decisions(self):
+        system, repository = self._populated(ShardedRepository(num_shards=4))
+        save_repository(repository, system.dfs, "/restore/plain")
+        save_repository(repository, system.dfs, "/restore/ranked",
+                        ranker="savings")
+        plain = load_repository(system.dfs, "/restore/plain")
+        ranked = load_repository(system.dfs, "/restore/ranked")
+        assert [e.output_path for e in ranked.scan()] == \
+            [e.output_path for e in plain.scan()]
+
     def test_sharded_save_is_deterministic(self):
         system, repository = self._populated(ShardedRepository(num_shards=4))
         save_repository(repository, system.dfs, "/restore/a")

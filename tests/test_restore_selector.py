@@ -144,6 +144,18 @@ class TestRule4InputInvalidation:
         policy = HeuristicRetentionPolicy(window_ticks=100)
         assert policy.sweep(repo, dfs, LogicalClock(1)) == []
 
+    def _entry_for(self, text, output_path, versions, created_tick=0,
+                   time=600.0):
+        from repro.logical import build_logical_plan as blp
+        from repro.physical import logical_to_physical as l2p
+        from repro.piglatin import parse_query as pq
+
+        return RepositoryEntry(
+            l2p(blp(pq(text))), output_path,
+            EntryStats(10**9, 10**3, time, created_tick=created_tick),
+            input_versions=versions,
+        )
+
     def test_eviction_cascade(self):
         # Entry B reads entry A's output; evicting A (deleting its file)
         # must cascade to B via Rule 4.
@@ -174,3 +186,143 @@ class TestRule4InputInvalidation:
         # `downstream` (Rule 4).
         assert set(evicted) == {stale, downstream}
         assert len(repo) == 0
+
+    def test_three_level_cascade_reaches_fixpoint(self):
+        # A -> B -> C dependency chain of stored outputs: only A is
+        # stale, but deleting its file invalidates B (Rule 4), and
+        # deleting B's file invalidates C — the sweep's re-check rounds
+        # must follow the chain to the fixpoint, not stop after one.
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["1\t2"])
+        for path in ("/stored/a", "/stored/b", "/stored/c"):
+            dfs.write_lines(path, ["1\t2"])
+
+        def text(src, dst):
+            return PLAN_TEXT.replace("/data/in", src).replace(
+                "'/stored/out';", f"'{dst}';")
+
+        a = self._entry_for(text("/data/in", "/stored/a"), "/stored/a",
+                            {"/data/in": 1}, created_tick=0)
+        b = self._entry_for(text("/stored/a", "/stored/b"), "/stored/b",
+                            {"/stored/a": 1}, created_tick=10)
+        c = self._entry_for(text("/stored/b", "/stored/c"), "/stored/c",
+                            {"/stored/b": 1}, created_tick=10)
+        for entry in (a, b, c):
+            repo.insert(entry)
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        evicted = policy.sweep(repo, dfs, LogicalClock(10))
+        assert set(evicted) == {a, b, c}
+        assert len(repo) == 0
+        for path in ("/stored/a", "/stored/b", "/stored/c"):
+            assert not dfs.exists(path)
+
+    def test_evicting_an_entrys_only_subsumption_parent(self):
+        # P strictly subsumes Q (same load, P extends Q's plan). Both
+        # expire in the same sweep: removing P first prunes its
+        # subsumption edge to Q, and the repository must stay coherent —
+        # a subsequent insert re-derives the scan order over the pruned
+        # edge sets without touching the removed ids.
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["1\t2"])
+        dfs.write_lines("/stored/q", ["1\t2"])
+        dfs.write_lines("/stored/p", ["1"])
+        q_entry = self._entry_for(
+            PLAN_TEXT.replace("/stored/out", "/stored/q"),
+            "/stored/q", {"/data/in": 1}, created_tick=0)
+        p_text = PLAN_TEXT.replace(
+            "store B into '/stored/out';",
+            "C = distinct B;\nstore C into '/stored/p';")
+        p_entry = self._entry_for(p_text, "/stored/p", {"/data/in": 1},
+                                  created_tick=0)
+        repo.insert(q_entry)
+        repo.insert(p_entry)
+        # Rule 1: the subsuming plan scans first.
+        assert [e.output_path for e in repo.scan()] == \
+            ["/stored/p", "/stored/q"]
+
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        evicted = policy.sweep(repo, dfs, LogicalClock(10))
+        assert set(evicted) == {p_entry, q_entry}
+        assert len(repo) == 0
+
+        # The repository is still consistent after losing both ends of
+        # the subsumption edge: inserting fresh twins rebuilds the same
+        # order from scratch.
+        fresh_q = self._entry_for(
+            PLAN_TEXT.replace("/stored/out", "/stored/q2"),
+            "/stored/q2", {"/data/in": 1}, created_tick=10)
+        fresh_p = self._entry_for(p_text.replace("/stored/p", "/stored/p2"),
+                                  "/stored/p2", {"/data/in": 1},
+                                  created_tick=10)
+        repo.insert(fresh_q)
+        repo.insert(fresh_p)
+        assert [e.output_path for e in repo.scan()] == \
+            ["/stored/p2", "/stored/q2"]
+
+    def test_surviving_dependent_of_evicted_subsumption_parent(self):
+        # Only the subsuming parent expires; the contained entry was
+        # recently used and must survive the sweep with the edge sets
+        # pruned (a follow-up insert exercises the post-removal reorder).
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["1\t2"])
+        dfs.write_lines("/stored/q", ["1\t2"])
+        dfs.write_lines("/stored/p", ["1"])
+        q_entry = self._entry_for(
+            PLAN_TEXT.replace("/stored/out", "/stored/q"),
+            "/stored/q", {"/data/in": 1}, created_tick=0)
+        p_text = PLAN_TEXT.replace(
+            "store B into '/stored/out';",
+            "C = distinct B;\nstore C into '/stored/p';")
+        p_entry = self._entry_for(p_text, "/stored/p", {"/data/in": 1},
+                                  created_tick=0)
+        repo.insert(q_entry)
+        repo.insert(p_entry)
+        q_entry.stats.record_use(9)  # still inside the window
+
+        policy = HeuristicRetentionPolicy(window_ticks=5)
+        evicted = policy.sweep(repo, dfs, LogicalClock(10))
+        assert evicted == [p_entry]
+        assert [e.output_path for e in repo.scan()] == ["/stored/q"]
+        another = self._entry_for(
+            PLAN_TEXT.replace("/stored/out", "/stored/r"),
+            "/stored/r", {"/data/in": 1}, created_tick=10)
+        repo.insert(another)
+        assert set(e.output_path for e in repo.scan()) == \
+            {"/stored/q", "/stored/r"}
+
+    def test_recreated_input_path_still_evicts(self):
+        # Rule 4's sharp edge: an input that is *deleted and re-created*
+        # (rather than overwritten) must not resurrect stale entries.
+        # The DFS continues the version sequence across the delete, so
+        # the version recorded at registration never matches again.
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["old"])
+        dfs.write_lines("/stored/out", ["x"])
+        entry = make_entry(versions={"/data/in": 1})
+        repo.insert(entry)
+        dfs.delete("/data/in")
+        dfs.write_lines("/data/in", ["new"])  # re-created, not overwritten
+        assert dfs.status("/data/in").version == 2
+        policy = HeuristicRetentionPolicy(window_ticks=100)
+        assert policy.sweep(repo, dfs, LogicalClock(1)) == [entry]
+
+    def test_recreated_input_with_identical_content_still_evicts(self):
+        # Content-stable versioning only applies to in-place overwrites:
+        # after an explicit delete the old content is gone, so an
+        # identical-looking re-creation is still a new version — the
+        # deletion itself was the modification Rule 4 watches for.
+        repo = Repository()
+        dfs = DistributedFileSystem(num_datanodes=3, replication=1)
+        dfs.write_lines("/data/in", ["same"])
+        dfs.write_lines("/stored/out", ["x"])
+        entry = make_entry(versions={"/data/in": 1})
+        repo.insert(entry)
+        dfs.delete("/data/in")
+        dfs.write_lines("/data/in", ["same"])
+        assert dfs.status("/data/in").version == 2
+        policy = HeuristicRetentionPolicy(window_ticks=100)
+        assert policy.sweep(repo, dfs, LogicalClock(1)) == [entry]

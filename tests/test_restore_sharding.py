@@ -224,6 +224,58 @@ class TestShardStats:
         assert sum(row["match_hits"]
                    for row in repository.shard_report()) >= 1
 
+    def test_merged_stats_count_logical_probes_once(self):
+        # Regression: a probe whose load keys land in an owned shard
+        # while the catch-all is occupied consults BOTH partitions. The
+        # per-shard probe counters each record their own consultation,
+        # so summing that column counts one logical probe twice; the
+        # merged view must report it once.
+        repo = ShardedRepository(num_shards=4)
+        repo.insert(_entry(0, path="/data/d0"))
+        repo.insert(_unkeyable_entry(1))  # occupies the catch-all
+        probe = _chain_plan(0, "/data/d0", extra_op="probe")
+        repo.match_candidates(probe)
+        merged = repo.merged_shard_stats()
+        assert merged["probes"] == 1
+        assert merged["shard_consults"] == 2  # owned shard + catch-all
+        # The naive sum over shard_report() is exactly the double count
+        # the merged view corrects.
+        assert sum(row["probes"] for row in repo.shard_report()) == 2
+
+    def test_merged_stats_without_catchall_agree_with_sum(self):
+        repo = ShardedRepository(num_shards=4)
+        repo.insert(_entry(0, path="/data/d0"))
+        probe = _chain_plan(0, "/data/d0", extra_op="probe")
+        repo.match_candidates(probe)
+        repo.match_candidates(probe)
+        merged = repo.merged_shard_stats()
+        assert merged["probes"] == 2
+        assert merged["shard_consults"] == 2  # empty catch-all skipped
+
+    def test_unkeyable_probe_counts_as_one_logical_probe(self):
+        repo = ShardedRepository(num_shards=4)
+        for index in range(4):
+            repo.insert(_entry(index, path=f"/data/d{index}"))
+        probe_load = SkeletonOp("load", "FOREIGN[p]", None, [])
+        probe_chain = SkeletonOp("filter", "FILTER[p]", None, [probe_load])
+        probe = PhysicalPlan([POStore(probe_chain, "/out/p")])
+        repo.match_candidates(probe)  # full-scan fallback
+        assert repo.merged_shard_stats()["probes"] == 1
+
+    def test_merged_candidate_and_hit_totals_are_exact_sums(self):
+        system = pigmix_system()
+        repository = ShardedRepository(num_shards=4)
+        restore = system.restore(repository=repository)
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        merged = repository.merged_shard_stats()
+        report = repository.shard_report()
+        assert merged["entries"] == len(repository)
+        assert merged["match_hits"] == sum(row["match_hits"] for row in report)
+        assert merged["candidates_returned"] == \
+            sum(row["candidates_returned"] for row in report)
+        assert merged["probes"] <= merged["shard_consults"]
+
     def test_describe_mentions_shards(self):
         repo = ShardedRepository(num_shards=3)
         repo.insert(_entry(0))
