@@ -139,6 +139,44 @@ class DistributedFileSystem:
         self._files[path] = _FileEntry(status, lines, blocks)
         return status
 
+    def append_lines(self, path, lines):
+        """Append ``lines`` to ``path`` (creating it when absent); returns
+        FileStatus.
+
+        The accounting mirrors :meth:`write_lines`: appending content is a
+        modification, so the version and modification tick advance; an
+        empty append touches nothing. Unlike an overwrite, only the new
+        lines are placed into (fresh tail) blocks — the existing blocks
+        and their replicas are untouched, so the cost is O(appended), not
+        O(file). This is what makes an append-only repository log cheaper
+        than rewriting the snapshot (see :mod:`repro.restore.wal`).
+        """
+        lines = list(lines)
+        previous = self._files.get(path)
+        if previous is None:
+            return self.write_lines(path, lines)
+        if not lines:
+            return previous.status
+        new_blocks = self._place_blocks(
+            path, lines, base_index=len(previous.blocks),
+            start_line=len(previous.lines))
+        old = previous.status
+        status = FileStatus(
+            path,
+            old.size_bytes + sum(block.num_bytes for block in new_blocks),
+            old.num_lines + len(lines),
+            old.version + 1,
+            old.created_tick,
+            self._now(),
+        )
+        # Extend in place: the read paths hand out copies/slices, so
+        # nobody aliases these lists, and copying them here would make
+        # every append O(file) — exactly what this method exists to avoid.
+        previous.lines.extend(lines)
+        previous.blocks.extend(new_blocks)
+        previous.status = status
+        return status
+
     def read_lines(self, path):
         """All lines of ``path`` (the whole-file read used by Load)."""
         return list(self._entry(path).lines)
@@ -182,12 +220,16 @@ class DistributedFileSystem:
     def _now(self):
         return self._clock.now() if self._clock is not None else 0
 
-    def _place_blocks(self, path, lines):
+    def _place_blocks(self, path, lines, base_index=0, start_line=0):
         """Chop ``lines`` into blocks and place replicas round-robin.
 
         Placement starts at a path-derived offset so different files spread
         across different datanodes, like HDFS's randomized placement but
-        deterministic.
+        deterministic. ``base_index``/``start_line`` shift the block index
+        and line coordinates when the new blocks extend an existing file
+        (:meth:`append_lines`): the replica rotation simply continues from
+        where the last block left off (the base offset depends only on the
+        path, so it needs no carrying over).
         """
         blocks = []
         start = 0
@@ -197,13 +239,15 @@ class DistributedFileSystem:
         for position, line_size in enumerate(line_sizes):
             current_bytes += line_size
             if current_bytes >= self.block_size:
-                blocks.append(self._make_block(path, len(blocks), start, position + 1,
-                                               current_bytes, base))
+                blocks.append(self._make_block(
+                    path, base_index + len(blocks), start_line + start,
+                    start_line + position + 1, current_bytes, base))
                 start = position + 1
                 current_bytes = 0
-        if current_bytes > 0 or not blocks:
-            blocks.append(self._make_block(path, len(blocks), start, len(lines),
-                                           current_bytes, base))
+        if current_bytes > 0 or (not blocks and base_index == 0):
+            blocks.append(self._make_block(
+                path, base_index + len(blocks), start_line + start,
+                start_line + len(lines), current_bytes, base))
         return blocks
 
     def _make_block(self, path, index, start_line, end_line, num_bytes, base):

@@ -63,7 +63,17 @@ priority order bit-identical to the seed, while
 Equation-2 estimated savings (subsumption still a hard constraint, scan
 rank as the deterministic tiebreak); every applied rewrite's estimated
 vs realized savings is recorded on the
-:class:`~repro.restore.manager.ReStoreReport`'s ranking ledger. See
+:class:`~repro.restore.manager.ReStoreReport`'s ranking ledger.
+
+Incremental persistence (PR 4) keeps the repository durable without
+rewriting the whole file per checkpoint: the repository exposes a
+change-event channel (``add_listener`` / ``record_use``) and
+:class:`~repro.restore.wal.RepositoryLog` appends one JSONL record per
+mutation — tagged with a monotonic sequence number and the owning shard
+— to a side log, compacting (v3 snapshot + log truncation) only when
+the log outgrows the snapshot. ``load_repository`` replays
+snapshot-then-log with torn-tail tolerance and reports what it saw via
+:class:`~repro.restore.persistence.LoaderReport`. See
 ``docs/ARCHITECTURE.md`` for the full design.
 """
 
@@ -76,7 +86,12 @@ from repro.restore.heuristics import (
 from repro.restore.index import leaf_loads, plan_fingerprint
 from repro.restore.manager import ReStore, ReStoreReport
 from repro.restore.matcher import find_containment, pairwise_plan_traversal
-from repro.restore.persistence import load_repository, save_repository
+from repro.restore.persistence import (
+    load_repository,
+    LoaderReport,
+    save_repository,
+    save_snapshot,
+)
 from repro.restore.ranking import (
     CandidateRanker,
     estimate_entry_savings,
@@ -89,6 +104,7 @@ from repro.restore.selector import (
     KeepEverythingPolicy,
 )
 from repro.restore.sharding import ShardedRepository
+from repro.restore.wal import RepositoryLog
 
 __all__ = [
     "AggressiveHeuristic",
@@ -101,12 +117,15 @@ __all__ = [
     "leaf_loads",
     "LinearScanRepository",
     "load_repository",
+    "LoaderReport",
     "NoHeuristic",
     "pairwise_plan_traversal",
     "plan_fingerprint",
     "save_repository",
+    "save_snapshot",
     "Repository",
     "RepositoryEntry",
+    "RepositoryLog",
     "ReStore",
     "ReStoreReport",
     "SavingsRanker",

@@ -55,6 +55,7 @@ class ReStoreReport:
         self.registered_entries = []  # entry ids added this run
         self.rejected_candidates = [] # paths rejected by the retention policy
         self.evicted_entries = []     # entry ids removed by the sweep
+        self.checkpoint = None        # persistence checkpoint outcome, if any
         self.match_counters = MatchCounters()  # why candidates were skipped
         #: per-rewrite estimated vs realized savings (estimator error)
         self.ranking = RankingLedger(ranker_name)
@@ -102,7 +103,13 @@ class ReStore(JobControl):
       one — not the frozen seed baseline);
     * ``enable_rewrite`` / ``enable_registration`` — turn the matcher or
       the repository population off (used by the experiments to measure
-      overhead and no-reuse baselines).
+      overhead and no-reuse baselines);
+    * ``persistence`` — a :class:`~repro.restore.wal.RepositoryLog` to
+      keep the repository durable incrementally: the manager attaches it
+      and, every ``checkpoint_every`` submits, appends the accumulated
+      change records (inserts, eviction removals, use-stamps) — or
+      compacts when the log outgrows its ratio threshold. None (the
+      default) leaves persistence to explicit ``save_repository`` calls.
     """
 
     MATERIALIZED_PREFIX = "/restore/materialized"
@@ -115,7 +122,8 @@ class ReStore(JobControl):
     def __init__(self, dfs, cost_model, repository=None, heuristic=_DEFAULT,
                  retention=None, clock=None, enable_rewrite=True,
                  enable_registration=True, register_whole_jobs=True,
-                 register_final_outputs=True, ranker=None):
+                 register_final_outputs=True, ranker=None, persistence=None,
+                 checkpoint_every=1):
         super().__init__(dfs, cost_model, keep_temps=True)
         self.repository = repository if repository is not None else Repository()
         self.heuristic = AggressiveHeuristic() if heuristic is self._DEFAULT else heuristic
@@ -124,6 +132,16 @@ class ReStore(JobControl):
         self.clock = clock or LogicalClock()
         self.enable_rewrite = enable_rewrite
         self.enable_registration = enable_registration
+        self.persistence = persistence
+        if persistence is not None:
+            if persistence.ranker is None:
+                # Snapshots written by managed persistence carry the same
+                # deployment metadata save_repository(..., ranker=) would
+                # record; set before attach — it may compact immediately.
+                persistence.ranker = self.ranker
+            persistence.attach(self.repository)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self._submits_since_checkpoint = 0
         #: register outputs of whole jobs (intermediate temps and, when
         #: ``register_final_outputs`` also holds, user-facing outputs)
         self.register_whole_jobs = register_whole_jobs
@@ -159,6 +177,16 @@ class ReStore(JobControl):
                 self.dfs.delete_if_exists(path)
         evicted = self.retention.sweep(self.repository, self.dfs, self.clock)
         self.last_report.evicted_entries.extend(entry.entry_id for entry in evicted)
+        for entry in evicted:
+            # An evicted entry's path must not keep shielding later
+            # discards of the same location (and a long-running manager
+            # must not accumulate paths forever).
+            self._kept_paths.discard(entry.output_path)
+        if self.persistence is not None:
+            self._submits_since_checkpoint += 1
+            if self._submits_since_checkpoint >= self.checkpoint_every:
+                self.last_report.checkpoint = self.persistence.checkpoint()
+                self._submits_since_checkpoint = 0
         return result
 
     # JobControl hooks ---------------------------------------------------------
@@ -181,7 +209,12 @@ class ReStore(JobControl):
 
     def after_job(self, job, run_result, executed):
         if not executed or not self.enable_registration:
-            self._pending_candidates.pop(job.job_id, None)
+            for candidate in self._pending_candidates.pop(job.job_id, ()):
+                # The injected stores already executed and materialized
+                # their files; nothing will ever register (and so own)
+                # them, so they must be queued for discard or they
+                # accumulate under /restore/materialized forever.
+                self._discard_paths.append(candidate.path)
             return
         for store in job.plan.stores():
             if store.injected:
@@ -222,6 +255,11 @@ class ReStore(JobControl):
         """
         counters = self.last_report.match_counters
         record_hit = getattr(self.repository, "record_match_hit", None)
+        # Use-stamps go through the repository's change-event channel so
+        # an attached RepositoryLog persists them (Rule 3 reuse windows
+        # survive a restart); the frozen seed baseline has no channel and
+        # gets the direct stamp.
+        record_use = getattr(self.repository, "record_use", None)
         progressed = True
         while progressed:
             progressed = False
@@ -236,7 +274,10 @@ class ReStore(JobControl):
                     continue
                 self._record_ranking_decision(job, entry)
                 apply_rewrite(job, match, entry, self.dfs)
-                entry.stats.record_use(self.clock.now())
+                if record_use is not None:
+                    record_use(entry, self.clock.now())
+                else:
+                    entry.stats.record_use(self.clock.now())
                 counters.matched += 1
                 if record_hit is not None:
                     record_hit(entry)
@@ -330,8 +371,18 @@ class ReStore(JobControl):
             return None  # trivial Load->Store plans are never useful
         entry_store = POStore(clone, output_path)
         entry_plan = PhysicalPlan([entry_store])
-        if self.repository.find_equivalent(entry_plan) is not None:
-            self._kept_paths.add(output_path)  # already represented
+        existing = self.repository.find_equivalent(entry_plan)
+        if existing is not None:
+            if existing.output_path == output_path:
+                # A re-registration at the same content-addressed path:
+                # the "duplicate" file IS the entry's stored file, so
+                # shield it from any queued discard.
+                self._kept_paths.add(output_path)
+            # A duplicate at a *different* path references nothing — the
+            # existing entry keeps its own file — so it must stay
+            # discardable: shielding it would leak one orphan
+            # materialized file (and one shield-set string) per
+            # re-enumerated sub-plan, forever.
             return None
         stats = EntryStats(
             input_bytes=run_result.stats.map_input_bytes,

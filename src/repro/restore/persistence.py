@@ -31,15 +31,34 @@ File formats (spec in ``docs/ARCHITECTURE.md``):
   ``position`` so the loader can re-insert in the original global
   priority order even though the file is grouped by shard.
 
-``load_repository`` sniffs the format: a v2 manifest loads into a
+* **v3 (incremental)** — a **snapshot** in the v2 sectioned shape (the
+  manifest says ``"restore-manifest": 3`` and additionally points at a
+  sibling **append-only change log** via ``"log"``/``"base_seq"``; each
+  body record also carries the entry's stable log ``key``), written by
+  :class:`~repro.restore.wal.RepositoryLog` on compaction. The log holds
+  one JSONL record per mutation (insert / remove / use-stamp), tagged
+  with a monotonic sequence number and the owning shard id; the loader
+  replays snapshot-then-log, skipping records at or below the
+  snapshot's ``base_seq`` and tolerating a torn final log line (a crash
+  mid-append drops the partial record instead of failing the restart).
+
+``load_repository`` sniffs the format: a v2/v3 manifest loads into a
 :class:`~repro.restore.sharding.ShardedRepository` of the manifest's
-shard count, a v1 file into a plain :class:`Repository` — unless the
-caller passes an explicit ``repository`` target, which is how a
-pre-shard v1 file migrates into a sharded deployment (the shard layout
-is recomputed from the stable load-key hash, so no rewrite is needed).
+shard count (a v3 snapshot of an unsharded repository says
+``num_shards: 0`` and loads into a plain :class:`Repository`), a v1
+file into a plain :class:`Repository` — unless the caller passes an
+explicit ``repository`` target, which is how a pre-shard v1 file
+migrates into a sharded deployment (the shard layout is recomputed from
+the stable load-key hash, so no rewrite is needed). Whatever the
+format, the loader attaches a :class:`LoaderReport` to the returned
+repository (``repository.loader_report``) with its counters — replayed
+/ stale / dangling log records, torn-tail drops, and saved-fingerprint
+mismatches — and the replay state a
+:class:`~repro.restore.wal.RepositoryLog` needs to resume appending.
 """
 
 import json
+import warnings
 
 from repro.common.errors import RepositoryError
 from repro.data.schema import Field, Schema
@@ -159,6 +178,13 @@ def entry_to_json(entry):
     return {
         "plan": plan_to_json(entry.plan),
         "fingerprint": entry.fingerprint,
+        # The insertion sequence is the scan order's final tie-break.
+        # It must round-trip: re-insertion mints sequences in scan-
+        # position order, but a subsumption-edge-constrained scan order
+        # can invert metric-tied entries relative to insertion order —
+        # a post-reload recompute would then break those ties
+        # differently than the live repository.
+        "sequence": getattr(entry, "_sequence", None),
         "output_path": entry.output_path,
         "input_versions": entry.input_versions,
         "owns_file": entry.owns_file,
@@ -176,7 +202,7 @@ def entry_to_json(entry):
     }
 
 
-def entry_from_json(data):
+def entry_from_json(data, report=None):
     raw = data["stats"]
     stats = EntryStats(
         raw["input_bytes"], raw["output_bytes"], raw["producing_job_time"],
@@ -196,8 +222,24 @@ def entry_from_json(data):
     # The saved fingerprint is derivable state: the plan round-trips its
     # signatures, so the recomputed hash is authoritative. A stale saved
     # value (e.g. after a signature-canonicalization change in a newer
-    # release) must not brick the restart — the lazily recomputed
-    # fingerprint simply wins, and the repository re-indexes with it.
+    # release) must not brick the restart — the recomputed fingerprint
+    # wins, and the repository re-indexes with it. But the drift itself
+    # must be observable, not invisible: verify the saved value and
+    # surface mismatches through the loader counter and a warning.
+    saved_fingerprint = data.get("fingerprint")
+    if saved_fingerprint is not None and saved_fingerprint != entry.fingerprint:
+        if report is not None:
+            # Count only: the loader emits one aggregated warning at the
+            # end (a drift hits every entry of a large repository at
+            # once) through a path that cannot brick the restart.
+            report.fingerprint_mismatches += 1
+        else:
+            warnings.warn(
+                f"saved fingerprint for entry {entry.output_path!r} does "
+                f"not match the recomputed one (signature "
+                f"canonicalization drift since the save?); the "
+                f"recomputed value wins",
+                RuntimeWarning, stacklevel=2)
     return entry
 
 
@@ -206,6 +248,79 @@ DEFAULT_REPOSITORY_PATH = "/restore/repository.jsonl"
 #: manifest marker key; its value is the format version
 MANIFEST_KEY = "restore-manifest"
 MANIFEST_VERSION = 2
+#: the incremental snapshot+log format written by RepositoryLog
+LOG_MANIFEST_VERSION = 3
+
+
+class LoaderReport:
+    """What ``load_repository`` observed while rebuilding a repository.
+
+    Attached to every returned repository as ``loader_report``. The
+    counters make restart anomalies observable instead of silent —
+    ``fingerprint_mismatches`` flags signature-canonicalization drift
+    between the saving and loading release, ``torn_tail_dropped`` /
+    ``stale_records`` / ``dangling_records`` account for every v3 log
+    record that was not replayed — and ``last_seq`` / ``keys`` are the
+    replay state a :class:`~repro.restore.wal.RepositoryLog` resumes
+    from when it re-attaches after a restart.
+    """
+
+    def __init__(self, path, dfs=None):
+        self.snapshot_path = path
+        #: the filesystem the load read from — resume checks compare it
+        #: by identity, so a report cannot vouch for a different DFS
+        #: that merely shares the path string
+        self.dfs = dfs
+        self.format_version = None     # 1, 2, or 3 (None: no file found)
+        self.log_path = None           # v3 manifest's change-log path
+        self.entries_loaded = 0        # entries in the final repository
+        self.log_records = 0           # lines found in the change log
+        self.replayed_records = 0      # log records applied
+        self.stale_records = 0         # records at or below base_seq
+        self.dangling_records = 0      # records whose target was gone
+        self.torn_tail_dropped = 0     # partial final line from a crash
+        self.orphaned_log_records = 0  # sibling log a v1/v2 load ignores
+        self.fingerprint_mismatches = 0
+        self.last_seq = 0              # highest sequence number seen
+        self.keys = {}                 # entry_id -> stable log key (v3)
+        #: (use_count, last_used_tick) per entry at load time — lets a
+        #: re-attaching RepositoryLog detect use-stamps applied between
+        #: load and attach (which its listener never saw) and heal with
+        #: a compaction instead of silently losing them.
+        self.use_stats = {}
+        # The replay state (last_seq/keys) is only valid until the first
+        # RepositoryLog attaches — it describes the repository *as
+        # loaded*, not as later mutated — so attach() consumes it.
+        self.replay_state_consumed = False
+
+    def as_dict(self):
+        return {
+            "snapshot_path": self.snapshot_path,
+            "format_version": self.format_version,
+            "log_path": self.log_path,
+            "entries_loaded": self.entries_loaded,
+            "log_records": self.log_records,
+            "replayed_records": self.replayed_records,
+            "stale_records": self.stale_records,
+            "dangling_records": self.dangling_records,
+            "torn_tail_dropped": self.torn_tail_dropped,
+            "orphaned_log_records": self.orphaned_log_records,
+            "fingerprint_mismatches": self.fingerprint_mismatches,
+            "last_seq": self.last_seq,
+        }
+
+    def describe(self):
+        return (
+            f"loaded {self.entries_loaded} entr(ies) from "
+            f"{self.snapshot_path!r} (format v{self.format_version}): "
+            f"{self.replayed_records} log record(s) replayed, "
+            f"{self.stale_records} stale, {self.dangling_records} dangling, "
+            f"{self.torn_tail_dropped} torn-tail dropped, "
+            f"{self.fingerprint_mismatches} fingerprint mismatch(es)"
+        )
+
+    def __repr__(self):
+        return f"LoaderReport({self.describe()})"
 
 
 def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
@@ -224,31 +339,93 @@ def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
     repository was operated under. It does not affect the entries
     themselves (ranking reorders probes, never state), and the v1 format
     has no header to carry it.
+
+    A full save is the authoritative state: any change log the file
+    being overwritten pointed at — plus the conventional ``<path>.log``
+    sibling — is subsumed and deleted, because the v1/v2 manifest
+    carries no log pointer and leaving a log behind would strand records
+    the loader never replays. Records checkpointed *after* this save go
+    to a log the saved file cannot reference; the loader flags the
+    conventional sibling loudly, custom log paths only until this save
+    erases their pointer — prefer :class:`~repro.restore.wal.RepositoryLog`
+    compaction over mixing both APIs on one path.
     """
+    stale_logs = _pointed_log_paths(dfs, path)
     ranker_name = getattr(ranker, "name", ranker)
     if isinstance(repository, ShardedRepository):
-        return _save_sharded(repository, dfs, path, ranker_name)
-    lines = [json.dumps(entry_to_json(entry), sort_keys=True)
-             for entry in repository.scan()]
-    return dfs.write_lines(path, lines, overwrite=True)
+        status = _save_sharded(repository, dfs, path, ranker_name)
+    else:
+        lines = [json.dumps(entry_to_json(entry), sort_keys=True)
+                 for entry in repository.scan()]
+        status = dfs.write_lines(path, lines, overwrite=True)
+    for stale in stale_logs:
+        dfs.delete_if_exists(stale)
+    return status
+
+
+def _pointed_log_paths(dfs, path):
+    """Change-log paths a full save at ``path`` supersedes: the
+    conventional sibling, plus whatever log the v3 manifest being
+    overwritten points at (it may be custom)."""
+    log_paths = {f"{path}.log"}
+    manifest = read_manifest_line(dfs, path)
+    if manifest is not None and isinstance(manifest.get("log"), str):
+        log_paths.add(manifest["log"])
+    return log_paths
+
+
+def read_manifest_line(dfs, path):
+    """The manifest dict on ``path``'s first line, or None (missing or
+    empty file, unparseable first line, or a v1 file with no manifest).
+
+    Reads only the file's first block — line 0 always lives there — so
+    sniffing the format of a large snapshot costs O(block), not O(file).
+    """
+    if not dfs.exists(path):
+        return None
+    lines = dfs.read_block_lines(path, 0)
+    if not lines:
+        return None
+    try:
+        first = json.loads(lines[0])
+    except ValueError:
+        return None
+    if isinstance(first, dict) and MANIFEST_KEY in first:
+        return first
+    return None
+
+
+def _sectioned_body(repository, keys=None):
+    """``(sections, body_lines)``: entries grouped by owning partition,
+    each line carrying the entry's global scan position (and, when
+    ``keys`` is given — the v3 snapshot — its stable change-log key)."""
+    positions = {entry.entry_id: position
+                 for position, entry in enumerate(repository.scan())}
+    if isinstance(repository, ShardedRepository):
+        groups = [(shard.shard_id,
+                   sorted(shard, key=lambda entry: positions[entry.entry_id]))
+                  for shard in repository.partitions()]
+    else:
+        # An unsharded repository is one partition (shard id null).
+        groups = [(None, list(repository.scan()))]
+    sections = []
+    body = []
+    for shard_id, members in groups:
+        if not members:
+            continue
+        sections.append({"shard": shard_id, "entries": len(members)})
+        for entry in members:
+            record = {"position": positions[entry.entry_id],
+                      "entry": entry_to_json(entry)}
+            if keys is not None:
+                record["key"] = keys.get(entry.entry_id,
+                                         f"s{positions[entry.entry_id]}")
+            body.append(json.dumps(record, sort_keys=True))
+    return sections, body
 
 
 def _save_sharded(repository, dfs, path, ranker_name=None):
-    positions = {entry.entry_id: position
-                 for position, entry in enumerate(repository.scan())}
-    partitions = repository.partitions()
-    sections = []
-    body = []
-    for shard in partitions:
-        members = sorted(shard, key=lambda entry: positions[entry.entry_id])
-        if not members:
-            continue
-        sections.append({"shard": shard.shard_id, "entries": len(members)})
-        for entry in members:
-            body.append(json.dumps(
-                {"position": positions[entry.entry_id],
-                 "entry": entry_to_json(entry)},
-                sort_keys=True))
+    sections, body = _sectioned_body(repository)
     header = {MANIFEST_KEY: MANIFEST_VERSION,
               "num_shards": repository.num_shards,
               "entries": len(repository),
@@ -257,6 +434,47 @@ def _save_sharded(repository, dfs, path, ranker_name=None):
         header["ranker"] = ranker_name
     manifest = json.dumps(header, sort_keys=True)
     return dfs.write_lines(path, [manifest] + body, overwrite=True)
+
+
+def save_snapshot(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
+                  log_path=None, base_seq=0, keys=None, ranker=None,
+                  truncate_log=True):
+    """Write a v3 snapshot: the sectioned v2 shape plus the change-log
+    pointer (``log``/``base_seq``) and per-entry stable log keys.
+
+    This is the compaction half of the incremental format — normally
+    called by :meth:`~repro.restore.wal.RepositoryLog.compact`, which
+    owns the key assignment and the sequence counter. Unlike
+    :func:`save_repository` it writes the same format for sharded and
+    unsharded repositories (an unsharded one records ``num_shards: 0``
+    and a single null-shard section).
+
+    The snapshot subsumes every change-log record up to ``base_seq``, so
+    by default the log is truncated *after* the snapshot lands (the
+    crash-safe order: a crash in between leaves only records the new
+    ``base_seq`` marks stale). Without the truncation, a direct call
+    with the default ``base_seq=0`` next to a non-empty log would make
+    the loader replay records the snapshot already contains —
+    duplicating entries. Pass ``truncate_log=False`` only when the
+    caller manages the log file itself.
+    """
+    ranker_name = getattr(ranker, "name", ranker)
+    if log_path is None:
+        log_path = f"{path}.log"
+    sections, body = _sectioned_body(repository, keys=keys or {})
+    header = {MANIFEST_KEY: LOG_MANIFEST_VERSION,
+              "num_shards": getattr(repository, "num_shards", 0),
+              "entries": len(repository),
+              "sections": sections,
+              "log": log_path,
+              "base_seq": base_seq}
+    if ranker_name is not None:
+        header["ranker"] = ranker_name
+    manifest = json.dumps(header, sort_keys=True)
+    status = dfs.write_lines(path, [manifest] + body, overwrite=True)
+    if truncate_log:
+        dfs.write_lines(log_path, [], overwrite=True)
+    return status
 
 
 def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
@@ -272,41 +490,236 @@ def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
     match decisions (the shard layout is a pure function of the entries'
     load keys).
     """
-    if not dfs.exists(path):
-        return repository if repository is not None else Repository()
-    lines = dfs.read_lines(path)
+    report = LoaderReport(path, dfs)
+    lines = dfs.read_lines(path) if dfs.exists(path) else []
     if not lines:
-        return repository if repository is not None else Repository()
+        repository = repository if repository is not None else Repository()
+        repository.loader_report = report
+        sibling = f"{path}.log"
+        if dfs.exists(sibling):
+            # The snapshot is gone (or empty) but its change log is not:
+            # records there cannot be replayed without the snapshot's
+            # manifest, and silence would hide the loss.
+            report.orphaned_log_records = dfs.status(sibling).num_lines
+        if report.orphaned_log_records:
+            _warn_unbrickable(
+                f"no repository snapshot at {path!r}, but the sibling "
+                f"change log {sibling!r} holds "
+                f"{report.orphaned_log_records} record(s) that cannot "
+                f"be replayed without it; loading empty")
+        return repository
     first = json.loads(lines[0])
     if isinstance(first, dict) and MANIFEST_KEY in first:
-        return _load_sharded(first, lines[1:], repository)
-    if repository is None:
-        repository = Repository()
-    for line in lines:
-        repository.insert(entry_from_json(json.loads(line)))
+        version = first[MANIFEST_KEY]
+        if version == MANIFEST_VERSION:
+            repository = _load_sharded(first, lines[1:], repository, report)
+        elif version == LOG_MANIFEST_VERSION:
+            repository = _load_incremental(dfs, first, lines[1:], repository,
+                                           report)
+        else:
+            raise RepositoryError(
+                f"unsupported repository format version {version!r}")
+        # Surface the manifest (format version, shard count, ranker
+        # metadata) to the caller; harmless no-op on a plain Repository
+        # target, which simply gains the attribute.
+        repository.manifest_metadata = dict(first)
+    else:
+        report.format_version = 1
+        if repository is None:
+            repository = Repository()
+        records = [json.loads(line) for line in lines]
+        loaded = [repository.insert(entry_from_json(record, report))
+                  for record in records]
+        _restore_saved_order(repository, loaded,
+                             [record.get("sequence") for record in records])
+    report.entries_loaded = len(repository)
+    repository.loader_report = report
+    if report.format_version in (1, 2):
+        # A v1/v2 manifest carries no log pointer, so a non-empty
+        # sibling change log means mutations were checkpointed after the
+        # last full save — they cannot be replayed, and silence here
+        # would hide the loss.
+        sibling = f"{path}.log"
+        if dfs.exists(sibling):
+            report.orphaned_log_records = dfs.status(sibling).num_lines
+        if report.orphaned_log_records:
+            _warn_unbrickable(
+                f"found {report.orphaned_log_records} change-log "
+                f"record(s) at {sibling!r} next to a "
+                f"v{report.format_version} snapshot, which cannot "
+                f"reference them; they were NOT replayed (mutations "
+                f"checkpointed after the last full save are lost)")
+    if report.fingerprint_mismatches:
+        _warn_unbrickable(
+            f"{report.fingerprint_mismatches} saved fingerprint(s) in "
+            f"{path!r} did not match the recomputed ones (signature "
+            f"canonicalization drift since the save?); recomputed "
+            f"values won — see loader_report.fingerprint_mismatches")
     return repository
 
 
-def _load_sharded(manifest, body, repository):
-    if manifest[MANIFEST_KEY] != MANIFEST_VERSION:
-        raise RepositoryError(
-            f"unsupported repository format version {manifest[MANIFEST_KEY]!r}")
+def _warn_unbrickable(message):
+    """Warn loudly without ever bricking the restart: forces print-only
+    so an escalating filter (``-W error``) cannot turn the documented
+    recovery path into a load failure."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _load_sharded(manifest, body, repository, report):
+    report.format_version = MANIFEST_VERSION
+    if repository is None:
+        repository = ShardedRepository(num_shards=manifest["num_shards"])
+    _load_snapshot_body(manifest, body, repository, report)
+    return repository
+
+
+def _load_snapshot_body(manifest, body, repository, report):
+    """Insert a v2/v3 sectioned snapshot body into ``repository``.
+
+    Sections group lines by shard; the saved global scan order is the
+    recorded positions, so records are sorted by them before inserting,
+    then the exact order and tie-break sequences are restored. Returns
+    the stable-key map (``key`` -> entry; empty for v2 bodies, which
+    carry no keys) for the caller's log replay.
+    """
     expected = manifest.get("entries", len(body))
     if len(body) != expected:
         raise RepositoryError(
-            f"repository file truncated: manifest promises {expected} "
+            f"repository snapshot truncated: manifest promises {expected} "
             f"entr(ies), file holds {len(body)}")
-    if repository is None:
-        repository = ShardedRepository(num_shards=manifest["num_shards"])
-    # Surface the manifest (format version, shard count, ranker
-    # metadata) to the caller; harmless no-op on a plain Repository
-    # target, which simply gains the attribute.
-    repository.manifest_metadata = dict(manifest)
     records = [json.loads(line) for line in body]
-    # Sections group lines by shard; the global priority order is the
-    # insertion order that reproduces the saved scan order, so sort by
-    # the recorded global position before inserting.
     records.sort(key=lambda record: record["position"])
+    by_key = {}
+    loaded = []
     for record in records:
-        repository.insert(entry_from_json(record["entry"]))
+        entry = repository.insert(entry_from_json(record["entry"], report))
+        loaded.append(entry)
+        key = record.get("key")
+        if key is not None:
+            by_key[key] = entry
+    # The snapshot order (and tie-break sequences) are the live history
+    # at save time — possibly non-greedy after removals; restore them
+    # exactly, so later mutations (incl. log replay) start from the same
+    # state the live repository was in.
+    _restore_saved_order(
+        repository, loaded,
+        [record["entry"].get("sequence") for record in records])
+    return by_key
+
+
+def _restore_saved_order(repository, loaded, sequences=None):
+    """Pin the reloaded scan order — and insertion sequences — to the
+    saved ones.
+
+    Sequential insertion re-derives the *greedy* order of the entry set,
+    but a repository saved after removals can legitimately be in a
+    non-greedy order ("previous order minus the removed entries") — the
+    recorded order is the live history and must win for the reload to be
+    bit-identical. Likewise re-insertion mints tie-break sequences in
+    scan-position order, while the live tie-break is *insertion* order;
+    the saved sequences are restored so later order recomputes resolve
+    metric ties exactly as the live repository would. No-op for targets
+    without the primitives (the frozen seed baseline) or partial loads
+    into a pre-populated repository.
+    """
+    if len(loaded) != len(repository):
+        return
+    force = getattr(repository, "force_scan_order", None)
+    if force is not None:
+        force(loaded)
+    if (sequences is not None
+            and all(sequence is not None for sequence in sequences)
+            and len(set(sequences)) == len(sequences)):
+        for entry, sequence in zip(loaded, sequences):
+            entry._sequence = sequence
+        repository._sequence = max(sequences, default=-1) + 1
+
+
+def _load_incremental(dfs, manifest, body, repository, report):
+    """Rebuild a v3 repository: snapshot first, then replay the change
+    log past the snapshot's ``base_seq``."""
+    report.format_version = LOG_MANIFEST_VERSION
+    report.log_path = manifest.get("log")
+    if repository is None:
+        num_shards = manifest.get("num_shards", 0)
+        repository = (ShardedRepository(num_shards=num_shards)
+                      if num_shards >= 1 else Repository())
+    # Log-replayed inserts mint fresh sequences above the snapshot's
+    # restored maximum, preserving relative order (the live counter was
+    # at least that high when they happened).
+    by_key = _load_snapshot_body(manifest, body, repository, report)
+    base_seq = manifest.get("base_seq", 0)
+    report.last_seq = base_seq
+    if report.log_path is not None and dfs.exists(report.log_path):
+        _replay_log(dfs.read_lines(report.log_path), base_seq, repository,
+                    by_key, report)
+    report.keys = {entry.entry_id: key for key, entry in by_key.items()}
+    report.use_stats = {
+        entry.entry_id: (entry.stats.use_count, entry.stats.last_used_tick)
+        for entry in by_key.values()}
     return repository
+
+
+def _replay_log(lines, base_seq, repository, by_key, report):
+    report.log_records = len(lines)
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            record = None
+        if not (isinstance(record, dict) and "seq" in record and "op" in record):
+            if index == last:
+                # Torn tail: a crash mid-append left a partial final
+                # line. Every complete record before it is intact, so
+                # the partial one is dropped, not fatal.
+                report.torn_tail_dropped += 1
+                break
+            raise RepositoryError(
+                f"corrupt repository log: unreadable record at line "
+                f"{index} is not the final line")
+        if record["seq"] <= base_seq:
+            # Pre-compaction history: a crash between the snapshot
+            # rewrite and the log truncation leaves the old records
+            # behind; the snapshot already reflects them.
+            report.stale_records += 1
+            continue
+        _apply_log_record(record, repository, by_key, report)
+        report.last_seq = max(report.last_seq, record["seq"])
+
+
+def _apply_log_record(record, repository, by_key, report):
+    op = record["op"]
+    if op == "insert":
+        entry = repository.insert(entry_from_json(record["entry"], report))
+        key = record.get("key")
+        if key is not None:
+            by_key[key] = entry
+        report.replayed_records += 1
+    elif op == "remove":
+        entry = by_key.pop(record.get("key"), None)
+        if entry is None:
+            # The target is already gone (e.g. a duplicated record, or a
+            # remove whose insert never made the log): count, don't die.
+            report.dangling_records += 1
+            return
+        # No dfs argument: the live removal already deleted any owned
+        # file — replay only restores the in-memory state.
+        repository.remove(entry)
+        report.replayed_records += 1
+    elif op == "use":
+        entry = by_key.get(record.get("key"))
+        if entry is None:
+            report.dangling_records += 1
+            return
+        # Use-stamps are absolute values, so replay is idempotent and a
+        # record for an already-stamped entry converges to live state.
+        entry.stats.use_count = record["use_count"]
+        entry.stats.last_used_tick = record["last_used_tick"]
+        report.replayed_records += 1
+    else:
+        # An op from a newer release: skip it rather than brick the
+        # restart (the counter keeps it observable).
+        report.dangling_records += 1

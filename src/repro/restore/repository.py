@@ -130,6 +130,45 @@ class Repository:
         # remaining set, so the next insert cannot use the splice fast
         # path and must rerun Kahn over the cached edges.
         self._order_is_greedy = True
+        # Change-event channel: callables invoked as listener(op, entry)
+        # with op in {"insert", "remove", "use"} after each mutation.
+        # This is what incremental persistence (repro.restore.wal)
+        # subscribes to; an empty list costs one truth test per mutation.
+        self._listeners = []
+
+    # Change events ---------------------------------------------------------
+
+    def add_listener(self, listener):
+        """Subscribe ``listener(op, entry)`` to insert/remove/use events."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener):
+        """Unsubscribe a listener previously added (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, op, entry):
+        for listener in self._listeners:
+            listener(op, entry)
+
+    def record_use(self, entry, tick):
+        """Stamp a reuse on ``entry`` and emit a ``"use"`` change event.
+
+        The manager routes use-stamps through here (instead of mutating
+        ``entry.stats`` directly) so that Rule 3 reuse windows survive a
+        restart when a :class:`~repro.restore.wal.RepositoryLog` is
+        attached.
+        """
+        entry.stats.record_use(tick)
+        self._notify("use", entry)
+
+    def shard_id_of(self, entry):
+        """The shard id owning ``entry`` — None for an unsharded
+        repository (overridden by
+        :class:`~repro.restore.sharding.ShardedRepository`)."""
+        return None
 
     def __len__(self):
         return len(self._entries)
@@ -248,7 +287,20 @@ class Repository:
         else:
             self._splice(entry)
         self._order = None
+        self._post_insert(entry)
+        self._notify("insert", entry)
         return entry
+
+    def _post_insert(self, entry):
+        """Subclass hook, called after ``entry`` is fully indexed but
+        before the insert change event fires (sharding registers the
+        entry with its owning shard here, so listeners observing the
+        event see a consistent shard layout)."""
+
+    def _post_remove(self, entry):
+        """Subclass hook, the removal counterpart of :meth:`_post_insert`
+        (called after the remove change event fires, so listeners can
+        still resolve the entry's shard via :meth:`shard_id_of`)."""
 
     def _discover_edges(self, entry, entry_loads):
         """Record subsumption edges between ``entry`` and the index-reachable
@@ -327,6 +379,36 @@ class Repository:
             raise RepositoryError("subsumption relation is cyclic (bug)")
         self._entries = ordered
 
+    def force_scan_order(self, entries):
+        """Adopt ``entries`` — a permutation of the current contents — as
+        the scan order.
+
+        Persistence loaders need this for exact state reconstruction: a
+        live repository's order after a removal is "previous order minus
+        the removed entry" (matching the seed), which is *not*
+        necessarily the greedy order of the remaining set — so reloading
+        by sequential insert, which re-normalizes greedily, can diverge
+        from the order the file recorded. The saved positions are
+        authoritative; the order is marked non-greedy so the next insert
+        reruns Kahn exactly as the live repository would.
+        """
+        entries = list(entries)
+        if [e.entry_id for e in entries] == [e.entry_id for e in self._entries]:
+            return
+        # Identity, not id-string, and an exact length: a list that
+        # duplicates one entry while dropping another (or that carries
+        # look-alike objects sharing ids with the repository's own
+        # instances) must not desynchronize _entries from _by_id.
+        if (len(entries) != len(self._entries)
+                or {id(entry) for entry in entries}
+                != {id(entry) for entry in self._entries}):
+            raise RepositoryError(
+                "force_scan_order requires a permutation of the "
+                "repository's current entries")
+        self._entries = entries
+        self._order = None
+        self._order_is_greedy = False
+
     def find_equivalent(self, plan):
         """An entry computing exactly ``plan`` (mutual containment), if any.
 
@@ -390,6 +472,8 @@ class Repository:
             partner_keys = self._cache_keys.get(partner)
             if partner_keys is not None:
                 partner_keys.discard(key)
+        self._notify("remove", entry)
+        self._post_remove(entry)
         if dfs is not None and entry.owns_file:
             dfs.delete_if_exists(entry.output_path)
 

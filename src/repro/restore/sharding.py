@@ -288,23 +288,28 @@ class ShardedRepository(Repository):
         """Release the probe executor (no-op for the serial executor)."""
         self._executor.close()
 
-    # Mutation ---------------------------------------------------------------
+    def shard_id_of(self, entry):
+        """The id of the shard owning ``entry`` (catch-all is ``-1``),
+        or None when the entry is not registered with any shard."""
+        shard = self._shard_of.get(entry.entry_id)
+        return shard.shard_id if shard is not None else None
 
-    def insert(self, entry):
-        """Insert globally (order, fingerprint dedup bucket, subsumption
-        edges — inherited) and register the entry with its owning shard."""
-        super().insert(entry)
+    # Mutation ---------------------------------------------------------------
+    #
+    # Inserts and removals are the inherited global operations; the
+    # _post_insert/_post_remove hooks register the entry with its owning
+    # shard so that change-event listeners (incremental persistence)
+    # observe a consistent shard layout when the event fires.
+
+    def _post_insert(self, entry):
         # The global load index just computed and cached the entry's leaf
         # loads; reuse them rather than re-walking the plan.
         entry_loads = self._load_index.loads_of(entry.entry_id)
         shard = self.owning_shard(entry_loads)
         shard.add(entry, entry_loads)
         self._shard_of[entry.entry_id] = shard
-        return entry
 
-    def remove(self, entry, dfs=None):
-        """Remove globally and from the owning shard."""
-        super().remove(entry, dfs)
+    def _post_remove(self, entry):
         shard = self._shard_of.pop(entry.entry_id, None)
         if shard is not None:
             shard.discard(entry)

@@ -1,0 +1,390 @@
+"""Incremental repository persistence: the append-only change log.
+
+The paper's repository is long-lived durable state ("Facebook stores the
+result of any query ... for seven days"), yet :func:`save_repository`
+rewrites the entire file on every checkpoint — O(repository) per save,
+which defeats the production-scale goal once the repository holds
+thousands of entries. :class:`RepositoryLog` makes the steady-state
+checkpoint cost O(delta) instead:
+
+* it subscribes to the repository's **change-event channel**
+  (``Repository.add_listener``) and turns every mutation — insert,
+  remove, use-stamp — into one JSONL record tagged with a monotonic
+  sequence number and the owning shard id;
+* :meth:`checkpoint` appends the buffered records to a side log through
+  :meth:`~repro.dfs.filesystem.DistributedFileSystem.append_lines`
+  (which places blocks only for the new lines), so the per-checkpoint
+  write is proportional to what changed since the last one;
+* when the log outgrows the snapshot (``log records / repository
+  entries > compact_ratio``), :meth:`compact` amortizes it away: one
+  full v3 snapshot rewrite (:func:`~repro.restore.persistence.save_snapshot`)
+  followed by a log truncation.
+
+Crash safety is positional, not transactional: the snapshot is written
+*before* the log is truncated, so a crash between the two leaves old
+records whose sequence numbers are at or below the new snapshot's
+``base_seq`` — replay skips them as stale. A crash mid-append leaves a
+partial final line — replay drops the torn tail. Either way
+``load_repository`` rebuilds exactly the state of the last completed
+append, and a re-attached ``RepositoryLog`` resumes from the loader's
+replay state (healing the log with a fresh compaction when the tail was
+torn). Use-stamps are logged as absolute counter values, so replaying
+one twice converges instead of double-counting.
+
+Entries are identified across restarts by **stable log keys** (the
+``key`` field in snapshot and log records), assigned by this class on
+insert — entry ids are process-local and re-minted on every load, so
+remove/use records cannot reference them.
+"""
+
+import json
+
+from repro.common.errors import RepositoryError
+from repro.restore.persistence import (
+    DEFAULT_REPOSITORY_PATH,
+    entry_to_json,
+    LOG_MANIFEST_VERSION,
+    read_manifest_line,
+    save_snapshot,
+)
+
+
+class RepositoryLog:
+    """Append-only change log + periodic compaction for one repository.
+
+    Parameters:
+
+    * ``dfs`` — the file system holding snapshot and log;
+    * ``path`` — the snapshot path (shared with ``load_repository``);
+    * ``log_path`` — the change-log path (default ``<path>.log``);
+    * ``compact_ratio`` — compaction threshold: compact when log records
+      per repository entry exceed this (≤ 0 is rejected; large values
+      effectively disable compaction, which the ablation benchmark uses
+      to isolate the append cost);
+    * ``ranker`` — deployment metadata recorded in the snapshot manifest,
+      exactly as ``save_repository(..., ranker=...)`` records it.
+
+    Call :meth:`attach` to bind a repository (the indexed
+    :class:`~repro.restore.repository.Repository` or the sharded
+    subclass — the frozen seed baseline has no change-event channel),
+    then :meth:`checkpoint` whenever the on-DFS state should catch up
+    with the live one; :class:`~repro.restore.manager.ReStore` does this
+    every ``checkpoint_every`` submits.
+    """
+
+    def __init__(self, dfs, path=DEFAULT_REPOSITORY_PATH, log_path=None,
+                 compact_ratio=1.0, ranker=None):
+        if compact_ratio <= 0:
+            raise ValueError(
+                f"compact_ratio must be positive, got {compact_ratio}")
+        self.dfs = dfs
+        self.path = path
+        self.log_path = log_path if log_path is not None else f"{path}.log"
+        self.compact_ratio = compact_ratio
+        self.ranker = ranker
+        self.repository = None
+        self._seq = 0                # last sequence number assigned
+        self._next_key = 0           # stable-key allocator
+        self._keys = {}              # entry_id -> stable log key
+        self._pending = []           # serialized records not yet on DFS
+        self._log_records = 0        # complete records in the DFS log
+
+    # Lifecycle --------------------------------------------------------------
+
+    def attach(self, repository):
+        """Bind ``repository`` and subscribe to its change events.
+
+        A repository freshly rebuilt by ``load_repository`` from this
+        snapshot/log pair resumes seamlessly: sequence numbers and
+        stable keys continue from the loader's replay state. Anything
+        else — a live repository, one loaded from a v1/v2 file, or a
+        reload whose log had crash damage (torn tail, stale records) —
+        is checkpointed immediately: attach writes a fresh v3 snapshot
+        and truncates the log. That initial compaction is also the
+        v1→v3 / v2→v3 migration path.
+        """
+        if self.repository is not None:
+            if self.repository is repository:
+                return self
+            raise RepositoryError(
+                "this RepositoryLog is already attached to a different "
+                "repository; detach() it first")
+        if not hasattr(repository, "add_listener"):
+            # Checked before any state mutates, so a failed attach
+            # leaves the log reusable.
+            raise RepositoryError(
+                f"{type(repository).__name__} has no change-event "
+                f"channel (add_listener); the frozen seed baseline "
+                f"cannot drive a RepositoryLog")
+        if getattr(repository, "persistence_log", None) is not None:
+            # Two logs on one repository would buffer every mutation
+            # twice (one of them usually forever) and, at shared paths,
+            # interleave records with independent sequence counters.
+            raise RepositoryError(
+                "repository already has an attached RepositoryLog; "
+                "detach()/close() it first")
+        loaded_from_here = (
+            getattr(repository, "loader_report", None) is not None
+            and repository.loader_report.snapshot_path == self.path
+            # Identity, not just a matching path string: a load from a
+            # *different* DFS must not vouch for this one (an empty
+            # repository loaded from fresh dfs_A would otherwise bypass
+            # the wipe guard and compact over dfs_B's durable state).
+            and getattr(repository.loader_report, "dfs", None) is self.dfs
+            # And a file must actually have been read: a load that found
+            # nothing (e.g. the snapshot was deleted while the change
+            # log still holds records) vouches for nothing — the wipe
+            # guard must still protect the log.
+            and repository.loader_report.format_version is not None)
+        probe = None  # lazy: the clean-resume path never needs it
+        if len(repository) == 0 and not loaded_from_here:
+            probe = self._probe_durable_state()
+            if probe[0]:
+                # Almost certainly a restart that forgot
+                # load_repository(): attaching would compact the empty
+                # live state over the snapshot and silently wipe it. (A
+                # repository genuinely emptied after loading from this
+                # path is exempt — its loader report vouches for it.)
+                raise RepositoryError(
+                    f"refusing to attach an empty repository over the "
+                    f"snapshot at {self.path!r}, which holds {probe[0]} "
+                    f"record(s): the initial compaction would wipe it. "
+                    f"Load it first (load_repository) or delete the "
+                    f"stale snapshot to really start fresh")
+        self.repository = repository
+        # A fresh binding: records buffered (and keys assigned) for a
+        # previously attached repository describe state this one does
+        # not share — flushing them into the new log would inject ghost
+        # mutations and reused sequence numbers (detach() warns to
+        # flush/close first if they were wanted).
+        self._pending = []
+        self._keys = {}
+        self._log_records = 0
+        report = getattr(repository, "loader_report", None)
+        resumable = (
+            report is not None
+            and report.format_version == LOG_MANIFEST_VERSION
+            and report.snapshot_path == self.path
+            and report.log_path == self.log_path
+            and getattr(report, "dfs", None) is self.dfs
+            # The replay state is single-use: it describes the repository
+            # as loaded. A later attach (after mutations possibly logged
+            # and compacted by another RepositoryLog) must not rewind the
+            # sequence counter to load time — records appended after a
+            # rewind would sit at or below the on-DFS base_seq and be
+            # silently skipped as stale on the next reload.
+            and not report.replay_state_consumed
+            and self.dfs.exists(self.path)
+        )
+        if report is not None:
+            report.replay_state_consumed = True
+        untracked_mutations = False
+        if resumable:
+            self._seq = report.last_seq
+            live_ids = {entry.entry_id for entry in repository}
+            self._keys = {entry_id: key
+                          for entry_id, key in report.keys.items()
+                          if entry_id in live_ids}
+            # Mutations applied between load and attach happened before
+            # the listener subscribed, so the log never saw them: a
+            # removal leaves a loader key with no live entry, a
+            # use-stamp leaves live stats differing from their values at
+            # load time. Either forces the healing compaction below
+            # (inserts are caught by the unkeyed check).
+            untracked_mutations = (
+                len(self._keys) != len(report.keys)
+                or any((entry.stats.use_count, entry.stats.last_used_tick)
+                       != report.use_stats.get(entry.entry_id)
+                       for entry in repository))
+        self._next_key = 1 + max(
+            (_key_index(key) for key in self._keys.values()), default=-1)
+        unkeyed = [entry for entry in repository
+                   if entry.entry_id not in self._keys]
+        for entry in unkeyed:
+            self._assign_key(entry)
+        repository.add_listener(self._on_event)
+        repository.persistence_log = self
+        clean = (resumable
+                 and not unkeyed
+                 and not untracked_mutations
+                 and report.torn_tail_dropped == 0
+                 and report.stale_records == 0)
+        if clean:
+            self._log_records = report.log_records
+        else:
+            # The healing compaction must not hand out a base_seq below
+            # sequence numbers already durable at this path: if the
+            # compaction crashes between the snapshot write and the log
+            # truncation, leftover records above base_seq would replay
+            # as fresh mutations on top of a snapshot that never saw
+            # them.
+            if probe is None:
+                probe = self._probe_durable_state()
+            self._seq = max(self._seq, probe[1])
+            self.compact()
+        return self
+
+    def _probe_durable_state(self):
+        """One pass over the durable files at this path, returning
+        ``(records, max_seq)``: how many records they hold (snapshot
+        entries plus outstanding change-log lines — state can live
+        entirely in the log before the first compaction; conservative,
+        possibly-stale lines included) and the highest sequence number
+        among the snapshot's ``base_seq`` and the log's records
+        (unparseable lines, e.g. a torn tail, are skipped). Runs once
+        per :meth:`attach` — the wipe guard needs the count, the
+        non-resumable compaction needs the sequence floor."""
+        records = 0
+        top = 0
+        if self.dfs.exists(self.path):
+            manifest = read_manifest_line(self.dfs, self.path)
+            if manifest is not None:
+                num_lines = self.dfs.status(self.path).num_lines
+                records += manifest.get("entries", max(0, num_lines - 1))
+                base_seq = manifest.get("base_seq", 0)
+                if isinstance(base_seq, int):
+                    top = max(top, base_seq)
+            else:
+                # v1 (or unreadable first line): one entry per line.
+                records += self.dfs.status(self.path).num_lines
+        if self.dfs.exists(self.log_path):
+            log_lines = self.dfs.read_lines(self.log_path)
+            records += len(log_lines)
+            for line in log_lines:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and isinstance(record.get("seq"),
+                                                           int):
+                    top = max(top, record["seq"])
+        return records, top
+
+    def detach(self):
+        """Unsubscribe from the repository (pending records are kept;
+        flush or compact first if they must reach the DFS)."""
+        if self.repository is not None:
+            self.repository.remove_listener(self._on_event)
+            if getattr(self.repository, "persistence_log", None) is self:
+                self.repository.persistence_log = None
+            self.repository = None
+
+    def close(self):
+        """Flush pending deltas, then detach."""
+        if self.repository is not None:
+            self.flush()
+            self.detach()
+
+    # Change events ----------------------------------------------------------
+
+    def _assign_key(self, entry):
+        key = f"k{self._next_key}"
+        self._next_key += 1
+        self._keys[entry.entry_id] = key
+        return key
+
+    def _on_event(self, op, entry):
+        self._seq += 1
+        record = {"seq": self._seq, "op": op,
+                  "shard": self.repository.shard_id_of(entry)}
+        if op == "insert":
+            record["key"] = self._assign_key(entry)
+            record["entry"] = entry_to_json(entry)
+        elif op == "remove":
+            record["key"] = self._keys.pop(entry.entry_id, None)
+        elif op == "use":
+            record["key"] = self._keys.get(entry.entry_id)
+            # Absolute values, not increments: replay is idempotent.
+            record["use_count"] = entry.stats.use_count
+            record["last_used_tick"] = entry.stats.last_used_tick
+        else:
+            return  # an event this release does not persist
+        self._pending.append(json.dumps(record, sort_keys=True))
+
+    # Checkpointing ----------------------------------------------------------
+
+    @property
+    def pending_records(self):
+        """Buffered change records not yet appended to the DFS log."""
+        return len(self._pending)
+
+    @property
+    def log_records(self):
+        """Complete change records currently in the DFS log."""
+        return self._log_records
+
+    def log_ratio(self):
+        """(on-DFS + pending) log records per repository entry — what
+        :attr:`compact_ratio` bounds (0 entries count as 1; an
+        unattached log reports over the empty repository)."""
+        size = len(self.repository) if self.repository is not None else 0
+        return (self._log_records + len(self._pending)) / max(1, size)
+
+    def should_compact(self):
+        total = self._log_records + len(self._pending)
+        return total > 0 and self.log_ratio() > self.compact_ratio
+
+    def flush(self):
+        """Append pending change records to the DFS log; O(delta)."""
+        if not self._pending:
+            return 0
+        appended = len(self._pending)
+        self.dfs.append_lines(self.log_path, self._pending)
+        self._log_records += appended
+        self._pending = []
+        return appended
+
+    def checkpoint(self):
+        """Bring the on-DFS state up to the live repository.
+
+        Appends the pending deltas — unless the log has outgrown the
+        ``compact_ratio`` threshold, in which case the whole repository
+        is compacted instead (the pending deltas are subsumed by the
+        snapshot). Returns ``{"appended": n, "compacted": bool}``.
+        """
+        if self.should_compact():
+            subsumed = len(self._pending)
+            self.compact()
+            return {"appended": subsumed, "compacted": True}
+        return {"appended": self.flush(), "compacted": False}
+
+    def compact(self):
+        """Full v3 snapshot rewrite + log truncation.
+
+        The snapshot lands before the log is truncated
+        (``save_snapshot`` orders the two writes), so a crash between
+        them leaves only records the snapshot's ``base_seq`` already
+        covers — replay skips them as stale.
+        """
+        save_snapshot(self.repository, self.dfs, self.path,
+                      log_path=self.log_path, base_seq=self._seq,
+                      keys=self._keys, ranker=self.ranker)
+        # Only now are the buffered records subsumed by a snapshot that
+        # actually landed — a failed write must leave them pending, or a
+        # caller that catches the error and retries would silently lose
+        # those mutations.
+        self._pending = []
+        self._log_records = 0
+
+    def describe(self):
+        state = "unattached" if self.repository is None else f"seq {self._seq}"
+        return (
+            f"RepositoryLog[{self.path} + {self.log_path}]: "
+            f"{state}, {self._log_records} logged record(s), "
+            f"{len(self._pending)} pending, "
+            f"ratio {self.log_ratio():.2f}/{self.compact_ratio}"
+        )
+
+    def __repr__(self):
+        return f"<{self.describe()}>"
+
+
+def _key_index(key):
+    """The integer suffix of a stable log key (``"k17"`` → 17). Keys this
+    class did not mint (e.g. a snapshot written directly through
+    ``save_snapshot`` uses ``"s<position>"`` fallbacks) count as -1: they
+    live in a different prefix, so the allocator cannot collide with
+    them and need not skip past them."""
+    if isinstance(key, str) and key[:1] == "k" and key[1:].isdigit():
+        return int(key[1:])
+    return -1

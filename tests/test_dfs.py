@@ -82,6 +82,97 @@ class TestVersioning:
         assert dfs.write_lines("/f", ["a"], overwrite=True).version == 1
 
 
+class TestAppend:
+    """append_lines: write_lines' accounting, O(appended) placement."""
+
+    def test_append_extends_content(self):
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["a", "b"])
+        dfs.append_lines("/f", ["c", "d"])
+        assert dfs.read_lines("/f") == ["a", "b", "c", "d"]
+
+    def test_append_creates_missing_file(self):
+        dfs = small_dfs()
+        status = dfs.append_lines("/f", ["a"])
+        assert status.version == 1
+        assert dfs.read_lines("/f") == ["a"]
+
+    def test_append_is_a_modification(self):
+        clock = LogicalClock()
+        dfs = small_dfs(clock=clock)
+        first = dfs.write_lines("/f", ["a"])
+        clock.tick(3)
+        second = dfs.append_lines("/f", ["b"])
+        assert second.version == first.version + 1
+        assert second.modified_tick == 3
+        assert second.created_tick == first.created_tick
+
+    def test_empty_append_is_a_no_op(self):
+        dfs = small_dfs()
+        first = dfs.write_lines("/f", ["a"])
+        second = dfs.append_lines("/f", [])
+        assert second.version == first.version
+        assert second.modified_tick == first.modified_tick
+        assert dfs.read_lines("/f") == ["a"]
+
+    def test_append_places_only_new_blocks(self):
+        dfs = small_dfs(block_size=16)
+        dfs.write_lines("/f", [f"line-{i:03d}" for i in range(10)])
+        before = dfs.blocks_of("/f")
+        dfs.append_lines("/f", [f"tail-{i:03d}" for i in range(5)])
+        after = dfs.blocks_of("/f")
+        # The original blocks are untouched — same ids, same coordinates.
+        assert [b.block_id for b in after[:len(before)]] == \
+            [b.block_id for b in before]
+        assert len(after) > len(before)
+
+    def test_appended_blocks_partition_file(self):
+        dfs = small_dfs(block_size=16)
+        lines = [f"line-{i:03d}" for i in range(12)]
+        dfs.write_lines("/f", lines[:7])
+        dfs.append_lines("/f", lines[7:])
+        rebuilt = []
+        for index in range(len(dfs.blocks_of("/f"))):
+            rebuilt.extend(dfs.read_block_lines("/f", index))
+        assert rebuilt == lines
+
+    def test_append_accounting_matches_rewrite(self):
+        """Size/line/replica accounting after appends equals a fresh
+        write of the same full content."""
+        appended = small_dfs(block_size=32)
+        rewritten = small_dfs(block_size=32)
+        lines = [f"row-{i}" for i in range(20)]
+        appended.write_lines("/f", lines[:8])
+        appended.append_lines("/f", lines[8:15])
+        appended.append_lines("/f", lines[15:])
+        rewritten.write_lines("/f", lines)
+        assert appended.file_size("/f") == rewritten.file_size("/f")
+        assert appended.status("/f").num_lines == len(lines)
+        assert appended.total_used_bytes() == rewritten.total_used_bytes()
+        assert appended.read_lines("/f") == rewritten.read_lines("/f")
+
+    def test_append_does_not_alias_reader_copies(self):
+        # Appends extend the stored lists in place (O(appended), not
+        # O(file)); the read paths must keep handing out copies so no
+        # caller observes the mutation.
+        dfs = small_dfs()
+        dfs.write_lines("/f", ["a"])
+        snapshot = dfs.read_lines("/f")
+        blocks = dfs.blocks_of("/f")
+        dfs.append_lines("/f", ["b"])
+        assert snapshot == ["a"]
+        assert len(blocks) == 1
+        snapshot.append("junk")
+        assert dfs.read_lines("/f") == ["a", "b"]
+
+    def test_append_replicas_respect_replication(self):
+        dfs = small_dfs(replication=3)
+        dfs.write_lines("/f", ["a"])
+        dfs.append_lines("/f", ["b" * 100])
+        for block in dfs.blocks_of("/f"):
+            assert len(set(block.replicas)) == 3
+
+
 class TestBlocksAndReplication:
     def test_multiple_blocks_created(self):
         dfs = small_dfs(block_size=32)

@@ -28,6 +28,7 @@ total simulated workflow cost never exceeds the structural run's on the
 same randomized stream.
 """
 
+import itertools
 import random
 
 import pytest
@@ -35,6 +36,7 @@ from hypothesis import assume, given, HealthCheck, settings, strategies as st
 
 from repro import PigSystem
 from repro.data import DataType, encode_row, Field, Schema
+from repro.dfs import DistributedFileSystem
 from repro.logical import build_logical_plan
 from repro.mapreduce import ClusterConfig, CostModel, CostModelConfig
 from repro.physical import logical_to_physical
@@ -43,8 +45,10 @@ from repro.piglatin import parse_query
 import repro.restore.manager as manager_module
 from repro.restore import (
     LinearScanRepository,
+    load_repository,
     Repository,
     RepositoryEntry,
+    RepositoryLog,
     SavingsRanker,
     ShardedRepository,
 )
@@ -360,6 +364,174 @@ def test_property_repositories_equivalent_to_seed(plan_pool):
             for name, repo in fleet:
                 assert [e.output_path for e in repo.scan()] == \
                     [e.output_path for e in seed.scan()], (context, name)
+
+
+# --- Incremental persistence: snapshot+log replay is exact (PR 4) -------------
+#
+# The fifth lock-step family: a repository with an attached RepositoryLog
+# is mutated through randomized insert/remove/use streams, and after
+# every checkpoint — including simulated crashes that tear the final log
+# line mid-append — load_repository must rebuild a repository that is
+# bit-identical to the live one: same scan order, same per-entry
+# statistics, same find_equivalent answers, same match-candidate
+# sequences, same shard layout.
+
+
+def _entry_state(repository):
+    """Everything the replay must reproduce bit-identically, per entry,
+    in scan order."""
+    state = []
+    for entry in repository.scan():
+        stats = entry.stats
+        state.append((
+            entry.output_path, entry.fingerprint, entry.origin,
+            entry.owns_file, dict(entry.input_versions),
+            stats.input_bytes, stats.output_bytes, stats.producing_job_time,
+            stats.map_time, stats.reduce_time, stats.created_tick,
+            stats.last_used_tick, stats.use_count,
+        ))
+    return state
+
+
+def _assert_reload_matches_live(dfs, live, plan_pool, rng, context):
+    reloaded = load_repository(dfs)
+    assert type(reloaded) is type(live), context
+    assert _entry_state(reloaded) == _entry_state(live), context
+    if isinstance(live, ShardedRepository):
+        assert reloaded.num_shards == live.num_shards, context
+        # Shard membership must match; within-shard iteration order is
+        # insertion order, which is not observable (probes re-sort into
+        # the global scan order) and legitimately differs after replay.
+        assert [sorted(e.output_path for e in shard)
+                for shard in reloaded.partitions()] == \
+            [sorted(e.output_path for e in shard)
+             for shard in live.partitions()], context
+    probe = _pool_plan(plan_pool, rng.randrange(len(plan_pool)),
+                       rng.choice([0, 0, 1]))
+    live_found = live.find_equivalent(probe)
+    reloaded_found = reloaded.find_equivalent(probe)
+    assert (reloaded_found is None) == (live_found is None), context
+    if live_found is not None:
+        assert reloaded_found.output_path == live_found.output_path, context
+    assert [e.output_path for e in reloaded.match_candidates(probe)] == \
+        [e.output_path for e in live.match_candidates(probe)], context
+    assert _first_match_path(reloaded.match_candidates(probe), probe) == \
+        _first_match_path(live.match_candidates(probe), probe), context
+    return reloaded
+
+
+def test_property_log_replay_matches_live(plan_pool):
+    """60 randomized mutation streams, each against a live repository
+    with an attached RepositoryLog at a random compaction ratio; crash
+    and reload at random points, sometimes with a torn log tail."""
+    for stream in range(60):
+        rng = random.Random(4000 + stream)
+        dfs = DistributedFileSystem()
+        live = rng.choice([
+            lambda: Repository(),
+            lambda: ShardedRepository(num_shards=2),
+            lambda: ShardedRepository(num_shards=8),
+        ])()
+        log = RepositoryLog(dfs, compact_ratio=rng.choice([0.25, 1.0, 8.0]))
+        log.attach(live)
+        tick = 0
+        for step in range(rng.randint(8, 16)):
+            context = f"stream={stream} step={step}"
+            action = rng.random()
+            if action < 0.55 or not len(live):
+                plan = _pool_plan(plan_pool, rng.randrange(len(plan_pool)),
+                                  rng.choice([0, 0, 1]))
+                stats = EntryStats(
+                    input_bytes=rng.choice([1000, 2000, 10000]),
+                    output_bytes=rng.choice([10, 100, 1000]),
+                    producing_job_time=rng.choice([1.0, 5.0, 60.0]),
+                    created_tick=tick,
+                )
+                live.insert(RepositoryEntry(
+                    plan, f"/stored/w{stream}-{step}", stats))
+            elif action < 0.72:
+                live.remove(live.scan()[rng.randrange(len(live))])
+            else:
+                tick += 1
+                live.record_use(live.scan()[rng.randrange(len(live))], tick)
+            if rng.random() < 0.45:
+                log.checkpoint()
+                if rng.random() < 0.5:
+                    # Crash mid-append of the next record: the log gains
+                    # a torn final line, which replay must drop.
+                    dfs.append_lines(log.log_path, ['{"seq": 10**9, "op'])
+                    reloaded = _assert_reload_matches_live(
+                        dfs, live, plan_pool, rng, context + " (torn)")
+                    assert reloaded.loader_report.torn_tail_dropped == 1, \
+                        context
+                    # The live process did not actually crash: un-tear
+                    # the tail so its next append stays well-formed.
+                    dfs.write_lines(log.log_path,
+                                    dfs.read_lines(log.log_path)[:-1],
+                                    overwrite=True)
+                else:
+                    _assert_reload_matches_live(dfs, live, plan_pool, rng,
+                                                context)
+        log.checkpoint()
+        _assert_reload_matches_live(dfs, live, plan_pool, rng,
+                                    f"stream={stream} final")
+
+
+def test_property_manager_survives_crash_reload():
+    """Randomized workflow streams through two identical systems: one
+    long-lived ReStore manager with incremental persistence, against a
+    'crashy' twin that reloads its repository from snapshot+log before
+    every submit (fresh manager each time). Decisions and outputs must
+    be identical throughout — restart changes nothing."""
+    for stream in range(8):
+        rng = random.Random(11000 + stream)
+        rows = [
+            (rng.choice(["x", "y", "z"]), rng.randint(0, 50),
+             rng.randint(0, 50), rng.choice(["p", "q"]))
+            for _ in range(6)
+        ]
+        queries = []
+        for q in range(rng.randint(2, 3)):
+            transforms = [rng.choice(TRANSFORM_TEMPLATES)
+                          for _ in range(rng.randint(0, 3))]
+            tail = rng.choice(TAIL_TEMPLATES)
+            queries.append(build_query(transforms, tail)
+                           .replace("/out/result", f"/out/s{q}"))
+
+        steady = PigSystem()
+        steady.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+        steady_mgr = steady.restore(
+            repository=ShardedRepository(num_shards=2),
+            persistence=RepositoryLog(steady.dfs, compact_ratio=2.0))
+
+        crashy = PigSystem()
+        crashy.dfs.write_lines("/data/t", [encode_row(r, SCHEMA) for r in rows])
+        # Materialized paths embed a per-manager prefix/counter; the
+        # crashy side re-creates its manager per submit, so pin both to
+        # keep its allocation sequence identical to the steady side's.
+        crashy_prefix = "/restore/materialized/crashy"
+        crashy_counter = itertools.count(1)
+
+        for name_index, query in enumerate(queries):
+            steady_mgr.submit(steady.compile(query, f"s{name_index}"))
+
+            reloaded = load_repository(crashy.dfs)
+            crashy_mgr = crashy.restore(
+                repository=reloaded,
+                persistence=RepositoryLog(crashy.dfs, compact_ratio=2.0))
+            crashy_mgr._mat_prefix = crashy_prefix
+            crashy_mgr._mat_counter = crashy_counter
+            crashy_mgr.submit(crashy.compile(query, f"s{name_index}"))
+            if rng.random() < 0.5:
+                # Crash mid-append before the next restart.
+                crashy.dfs.append_lines(crashy_mgr.persistence.log_path,
+                                        ['{"seq": 10**9, "op'])
+
+            label = f"stream={stream} query={name_index}"
+            assert _report_shape(crashy_mgr) == _report_shape(steady_mgr), label
+            out = f"/out/s{name_index}"
+            assert crashy.dfs.read_lines(out) == steady.dfs.read_lines(out), \
+                label
 
 
 def _normalize(path, manager):

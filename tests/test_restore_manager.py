@@ -230,3 +230,68 @@ class TestRepositoryBehaviour:
         no_reuse.repository = restore.repository
         no_reuse.submit(compile_query(Q2_TEXT, "q2", self.dfs))
         assert no_reuse.last_report.num_rewrites == 0
+
+
+class TestResourceAccounting:
+    """Regression tests for the PR 4 leak fixes."""
+
+    def setup_method(self):
+        self.dfs = make_dfs()
+        seed_page_views(self.dfs)
+        seed_users(self.dfs, include=range(6))
+
+    def test_disabled_registration_discards_materialized_files(self):
+        """With registration off, injected sub-job stores still execute
+        and write to the DFS; their outputs must be discarded after the
+        submit instead of accumulating forever."""
+        restore = fresh_restore(self.dfs, heuristic=AggressiveHeuristic(),
+                                enable_registration=False)
+        restore.submit(compile_query(Q1_TEXT, "q1", self.dfs))
+        assert len(restore.repository) == 0
+        assert self.dfs.list_files(ReStore.MATERIALIZED_PREFIX) == []
+
+    def test_duplicate_candidates_are_discarded_not_shielded(self):
+        """Regression: a sub-job candidate equivalent to an existing
+        entry materializes a redundant file at a fresh path; it must be
+        discarded, not shielded forever by _kept_paths (which the
+        eviction pruning can never reach — no entry owns that path)."""
+        restore = fresh_restore(self.dfs, heuristic=AggressiveHeuristic(),
+                                enable_rewrite=False)
+        restore.submit(compile_query(Q1_TEXT, "first", self.dfs))
+        first_files = set(self.dfs.list_files(ReStore.MATERIALIZED_PREFIX))
+        kept_before = len(restore._kept_paths)
+        # Re-enumeration materializes the same sub-plans at fresh paths;
+        # find_equivalent dedups them, and the fresh files must go.
+        restore.submit(compile_query(Q1_TEXT, "second", self.dfs))
+        assert set(self.dfs.list_files(ReStore.MATERIALIZED_PREFIX)) == \
+            first_files
+        assert len(restore._kept_paths) == kept_before
+
+    def test_kept_paths_pruned_on_eviction(self):
+        """Paths whose entries the sweep evicts must leave _kept_paths:
+        a long-running manager must not leak memory, and a stale path
+        must not shield a later discard of the same location."""
+        from repro.restore import HeuristicRetentionPolicy
+
+        restore = fresh_restore(
+            self.dfs, heuristic=AggressiveHeuristic(),
+            retention=HeuristicRetentionPolicy(window_ticks=100))
+        removed_paths = []
+
+        def observe(op, entry):
+            if op == "remove":
+                removed_paths.append(entry.output_path)
+
+        restore.repository.add_listener(observe)
+        restore.submit(compile_query(Q1_TEXT, "q1", self.dfs))
+        assert restore._kept_paths
+        # Rule 4: modifying the users dataset evicts every entry that
+        # read the old version at the next sweep.
+        seed_users(self.dfs, include=range(4))
+        restore.submit(compile_query(Q1_TEXT.replace(
+            "'/out/L2_out'", "'/out/L2_again'"), "q1b", self.dfs))
+        assert restore.last_report.evicted_entries
+        assert removed_paths
+        # No evicted entry's path lingers in the shield set, so a later
+        # discard of the same location is no longer wrongly blocked.
+        assert not set(removed_paths) & restore._kept_paths

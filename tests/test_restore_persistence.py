@@ -183,7 +183,59 @@ class TestIndexRoundtrip:
         original = restore.repository.scan()[0]
         data = entry_to_json(original)
         data["fingerprint"] = "0" * 64
-        assert entry_from_json(data).fingerprint == original.fingerprint
+        with pytest.warns(RuntimeWarning, match="fingerprint"):
+            reloaded = entry_from_json(data)
+        assert reloaded.fingerprint == original.fingerprint
+
+    def test_fingerprint_mismatch_is_counted_and_warned(self):
+        """Satellite (PR 4): a stale saved fingerprint is recomputed —
+        as before — but the drift is now observable: a warning fires and
+        the loader report counts it."""
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        save_repository(restore.repository, system.dfs)
+        lines = system.dfs.read_lines("/restore/repository.jsonl")
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            record["fingerprint"] = "0" * 64
+            doctored.append(json.dumps(record, sort_keys=True))
+        system.dfs.write_lines("/restore/repository.jsonl", doctored,
+                               overwrite=True)
+        with pytest.warns(RuntimeWarning, match="fingerprint"):
+            reloaded = load_repository(system.dfs)
+        assert reloaded.loader_report.fingerprint_mismatches == len(lines)
+        # The recomputed value still wins: indexes stay correct.
+        assert [e.fingerprint for e in reloaded.scan()] == \
+            [e.fingerprint for e in restore.repository.scan()]
+        # The recovery path must survive an escalating warnings filter:
+        # drift may never brick the restart.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            hardened = load_repository(system.dfs)
+        assert hardened.loader_report.fingerprint_mismatches == len(lines)
+
+    def test_clean_load_reports_no_mismatches(self):
+        system = pigmix_system()
+        restore = system.restore()
+        restore.submit(system.compile(Q1_TEXT))
+        save_repository(restore.repository, system.dfs)
+        reloaded = load_repository(system.dfs)
+        report = reloaded.loader_report
+        assert report.fingerprint_mismatches == 0
+        assert report.format_version == 1
+        assert report.entries_loaded == len(reloaded)
+        assert "fingerprint mismatch" in report.describe()
+        assert report.as_dict()["entries_loaded"] == len(reloaded)
+
+    def test_missing_file_still_gets_a_loader_report(self):
+        system = PigSystem()
+        repo = load_repository(system.dfs)
+        assert repo.loader_report.format_version is None
+        assert repo.loader_report.entries_loaded == 0
 
     def test_legacy_record_without_fingerprint_loads(self):
         system = pigmix_system()
