@@ -16,9 +16,11 @@ candidate ranker (the matcher tries candidates
 best-estimated-savings-first, the report's ranking ledger shows
 estimated vs realized savings per rewrite, and the ranker choice is
 recorded in the persisted repository's manifest), and finishes with
-incremental persistence: a manager wired to a RepositoryLog checkpoints
-O(delta) change records per submit, and a restart replays snapshot+log
-into the exact same repository.
+segmented persistence: a manager wired to a RepositoryLog checkpoints
+O(delta) change records per submit into per-shard segment files, a
+restart replays manifest+sections+segments into the exact same
+repository, and a mutation burst confined to one shard compacts only
+that shard's snapshot section (printed file listing before/after).
 
 Run:  python examples/repository_management.py
 """
@@ -123,7 +125,8 @@ def main():
         print(f"persisted manifest records ranker="
               f"{reloaded.manifest_metadata.get('ranker')!r}")
 
-    print("\n=== incremental persistence: O(delta) checkpoints ===")
+    print("\n=== segmented persistence: O(delta) checkpoints, "
+          "O(dirty shards) compaction ===")
     system = build_system()
     log = RepositoryLog(system.dfs, compact_ratio=2.0)
     durable = system.restore(repository=ShardedRepository(num_shards=4),
@@ -131,13 +134,39 @@ def main():
     for name in stream:
         durable.submit(system.compile(query_text(name), name))
         outcome = durable.last_report.checkpoint
-        print(f"  {name}: {outcome['appended']} change record(s) "
-              f"{'compacted into a fresh snapshot' if outcome['compacted'] else 'appended'}")
+        if outcome["compacted"]:
+            what = (f"compacted shard(s) "
+                    f"{', '.join(outcome['compacted_shards'])}")
+        else:
+            what = "appended to their shards' segments"
+        print(f"  {name}: {outcome['appended']} change record(s) {what}")
     print(log.describe())
     restarted = load_repository(system.dfs)
     print(f"restart replayed {restarted.loader_report.replayed_records} "
           f"log record(s): {len(restarted)} entr(ies), scan order "
           f"{'identical' if [e.output_path for e in restarted.scan()] == [e.output_path for e in durable.repository.scan()] else 'DIVERGED'}")
+
+    print("\n=== on disk: per-shard sections + segments, dirty-only "
+          "compaction ===")
+
+    def show_layout(header):
+        print(header)
+        for path in system.dfs.list_files("/restore/repository.jsonl"):
+            print(f"  {path}  ({system.dfs.status(path).num_lines} line(s))")
+
+    # A burst of use-stamps confined to one shard dirties only it.
+    repo = durable.repository
+    target = repo.shard_id_of(repo.scan()[0])
+    victims = [e for e in repo.scan() if repo.shard_id_of(e) == target]
+    for tick in range(100, 100 + 2 * len(repo)):
+        repo.record_use(victims[tick % len(victims)], tick)
+    log.flush()
+    show_layout("after the burst (one shard's segment has the backlog):")
+    print(f"  dirty shard(s): {log.dirty_shards()} "
+          f"(mutations were confined to shard {target})")
+    compacted = log.compact(log.dirty_shards())
+    show_layout(f"after compacting only {compacted} — the other shards' "
+                f"section files are untouched:")
 
 
 if __name__ == "__main__":

@@ -65,16 +65,22 @@ rank as the deterministic tiebreak); every applied rewrite's estimated
 vs realized savings is recorded on the
 :class:`~repro.restore.manager.ReStoreReport`'s ranking ledger.
 
-Incremental persistence (PR 4) keeps the repository durable without
-rewriting the whole file per checkpoint: the repository exposes a
-change-event channel (``add_listener`` / ``record_use``) and
+Incremental persistence (PR 4, segmented in PR 5) keeps the repository
+durable without rewriting the whole file per checkpoint: the repository
+exposes a change-event channel (``add_listener`` / ``record_use``) and
 :class:`~repro.restore.wal.RepositoryLog` appends one JSONL record per
 mutation — tagged with a monotonic sequence number and the owning shard
-— to a side log, compacting (v3 snapshot + log truncation) only when
-the log outgrows the snapshot. ``load_repository`` replays
-snapshot-then-log with torn-tail tolerance and reports what it saw via
+— to that shard's own segment file. Compaction is dirty-only: a shard
+whose segment outgrows its slice gets its snapshot section rewritten
+(an immutable generation-suffixed file) and its segment truncated,
+while clean shards' sections are reused on disk — steady-state
+compaction is O(dirty shards), not O(repository). ``load_repository``
+replays sections-then-segments (merged by sequence number, with
+per-segment torn-tail tolerance and stale-record watermarks) and
+reports what it saw via
 :class:`~repro.restore.persistence.LoaderReport`. See
-``docs/ARCHITECTURE.md`` for the full design.
+``docs/PERSISTENCE.md`` for the durable format and
+``docs/ARCHITECTURE.md`` for the design.
 """
 
 from repro.restore.baseline import LinearScanRepository

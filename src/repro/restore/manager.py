@@ -105,11 +105,16 @@ class ReStore(JobControl):
       the repository population off (used by the experiments to measure
       overhead and no-reuse baselines);
     * ``persistence`` — a :class:`~repro.restore.wal.RepositoryLog` to
-      keep the repository durable incrementally: the manager attaches it
-      and, every ``checkpoint_every`` submits, appends the accumulated
-      change records (inserts, eviction removals, use-stamps) — or
-      compacts when the log outgrows its ratio threshold. None (the
-      default) leaves persistence to explicit ``save_repository`` calls.
+      keep the repository durable incrementally (or ``True`` for a
+      default-configured one on this manager's DFS): the manager
+      attaches it and, every ``checkpoint_every`` submits, appends the
+      accumulated change records (inserts, eviction removals,
+      use-stamps) to the per-shard segment files — or compacts the
+      partitions whose segments outgrew their ratio threshold
+      (dirty-only: clean shards' snapshot sections are reused on disk).
+      The checkpoint outcome, including which shards were compacted,
+      lands on ``last_report.checkpoint``. None (the default) leaves
+      persistence to explicit ``save_repository`` calls.
     """
 
     MATERIALIZED_PREFIX = "/restore/materialized"
@@ -132,6 +137,12 @@ class ReStore(JobControl):
         self.clock = clock or LogicalClock()
         self.enable_rewrite = enable_rewrite
         self.enable_registration = enable_registration
+        if persistence is True:
+            # Knob convenience: a default segmented RepositoryLog on
+            # this manager's DFS (manifest + per-shard sections and
+            # segments under /restore/repository.jsonl*).
+            from repro.restore.wal import RepositoryLog
+            persistence = RepositoryLog(dfs)
         self.persistence = persistence
         if persistence is not None:
             if persistence.ranker is None:

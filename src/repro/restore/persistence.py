@@ -31,20 +31,35 @@ File formats (spec in ``docs/ARCHITECTURE.md``):
   ``position`` so the loader can re-insert in the original global
   priority order even though the file is grouped by shard.
 
-* **v3 (incremental)** — a **snapshot** in the v2 sectioned shape (the
-  manifest says ``"restore-manifest": 3`` and additionally points at a
-  sibling **append-only change log** via ``"log"``/``"base_seq"``; each
-  body record also carries the entry's stable log ``key``), written by
-  :class:`~repro.restore.wal.RepositoryLog` on compaction. The log holds
-  one JSONL record per mutation (insert / remove / use-stamp), tagged
-  with a monotonic sequence number and the owning shard id; the loader
-  replays snapshot-then-log, skipping records at or below the
-  snapshot's ``base_seq`` and tolerating a torn final log line (a crash
-  mid-append drops the partial record instead of failing the restart).
+* **v3 (incremental, legacy)** — a **snapshot** in the v2 sectioned
+  shape (the manifest says ``"restore-manifest": 3`` and additionally
+  points at a sibling **append-only change log** via
+  ``"log"``/``"base_seq"``; each body record also carries the entry's
+  stable log ``key``). The log holds one JSONL record per mutation
+  (insert / remove / use-stamp), tagged with a monotonic sequence
+  number and the owning shard id; the loader replays snapshot-then-log,
+  skipping records at or below the snapshot's ``base_seq`` and
+  tolerating a torn final log line (a crash mid-append drops the
+  partial record instead of failing the restart). Still written by
+  :func:`save_snapshot` and fully loadable, but
+  :class:`~repro.restore.wal.RepositoryLog` now writes v4.
 
-``load_repository`` sniffs the format: a v2/v3 manifest loads into a
-:class:`~repro.restore.sharding.ShardedRepository` of the manifest's
-shard count (a v3 snapshot of an unsharded repository says
+* **v4 (segmented)** — the incremental format partitioned along the
+  shard layout, written by :class:`~repro.restore.wal.RepositoryLog`.
+  The file at ``path`` holds only the **manifest**: the global scan
+  order (stable key + tie-break sequence per entry, valid at the
+  manifest's ``last_seq``) and one descriptor per partition pointing at
+  that shard's immutable, generation-suffixed snapshot **section file**
+  and its append-only **segment file**, with a per-section ``base_seq``
+  watermark. Each shard appends and compacts independently: a
+  compaction rewrites only the sections of *dirty* shards (new
+  generation files), re-points the manifest, and truncates just those
+  shards' segments — clean sections are reused at the file level. The
+  full spec lives in ``docs/PERSISTENCE.md``.
+
+``load_repository`` sniffs the format: a v2/v3/v4 manifest loads into
+a :class:`~repro.restore.sharding.ShardedRepository` of the manifest's
+shard count (a v3/v4 snapshot of an unsharded repository says
 ``num_shards: 0`` and loads into a plain :class:`Repository`), a v1
 file into a plain :class:`Repository` — unless the caller passes an
 explicit ``repository`` target, which is how a pre-shard v1 file
@@ -248,8 +263,46 @@ DEFAULT_REPOSITORY_PATH = "/restore/repository.jsonl"
 #: manifest marker key; its value is the format version
 MANIFEST_KEY = "restore-manifest"
 MANIFEST_VERSION = 2
-#: the incremental snapshot+log format written by RepositoryLog
+#: the single-file incremental snapshot+log format (legacy; still
+#: written by save_snapshot and fully loadable)
 LOG_MANIFEST_VERSION = 3
+#: the segmented format: per-shard section + segment files coordinated
+#: through the manifest (what RepositoryLog writes)
+SEGMENT_MANIFEST_VERSION = 4
+
+#: section/segment file name of the catch-all partition (and of a plain
+#: repository, whose single partition is the catch-all)
+CATCHALL_LABEL = "catchall"
+
+
+def shard_label(shard_id):
+    """The file-name label of one partition: ``"0"``, ``"1"``, … for
+    regular shards, :data:`CATCHALL_LABEL` for the catch-all (sharded
+    id ``-1``) and for a plain repository's single partition (``None``).
+    """
+    if shard_id is None or shard_id < 0:
+        return CATCHALL_LABEL
+    return str(shard_id)
+
+
+def section_file_path(path, label, generation):
+    """The immutable v4 section file for one partition: generation-
+    suffixed so a dirty-shard compaction writes a *new* file and
+    re-points the manifest instead of overwriting in place (a crash
+    between the two leaves the old manifest's files intact)."""
+    return f"{path}.sec-{label}.g{generation}"
+
+
+def section_file_prefix(path):
+    """Every v4 section file of ``path`` starts with this prefix —
+    compaction garbage-collects unreferenced generations under it."""
+    return f"{path}.sec-"
+
+
+def segment_file_path(log_base, label):
+    """The append-only v4 segment file of one partition, derived from
+    the manifest's ``log`` base path (default ``<path>.log``)."""
+    return f"{log_base}.{label}"
 
 
 class LoaderReport:
@@ -271,10 +324,12 @@ class LoaderReport:
         #: by identity, so a report cannot vouch for a different DFS
         #: that merely shares the path string
         self.dfs = dfs
-        self.format_version = None     # 1, 2, or 3 (None: no file found)
-        self.log_path = None           # v3 manifest's change-log path
+        self.format_version = None     # 1..4 (None: no file found)
+        #: v3: the change-log file; v4: the segment *base* path (each
+        #: partition's segment is ``<base>.<label>``)
+        self.log_path = None
         self.entries_loaded = 0        # entries in the final repository
-        self.log_records = 0           # lines found in the change log
+        self.log_records = 0           # lines found in the change log(s)
         self.replayed_records = 0      # log records applied
         self.stale_records = 0         # records at or below base_seq
         self.dangling_records = 0      # records whose target was gone
@@ -282,7 +337,15 @@ class LoaderReport:
         self.orphaned_log_records = 0  # sibling log a v1/v2 load ignores
         self.fingerprint_mismatches = 0
         self.last_seq = 0              # highest sequence number seen
-        self.keys = {}                 # entry_id -> stable log key (v3)
+        self.keys = {}                 # entry_id -> stable log key (v3/v4)
+        #: v4 resume state: manifest num_shards, plus one descriptor per
+        #: partition label ({"shard", "file", "entries", "base_seq",
+        #: "segment"}) and the count of complete records per segment —
+        #: what a re-attaching RepositoryLog needs to keep appending and
+        #: to reuse clean sections at the next compaction.
+        self.num_shards = None
+        self.section_state = {}        # label -> section descriptor
+        self.segment_records = {}      # label -> complete records
         #: (use_count, last_used_tick) per entry at load time — lets a
         #: re-attaching RepositoryLog detect use-stamps applied between
         #: load and attach (which its listener never saw) and heal with
@@ -364,13 +427,25 @@ def save_repository(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
 
 
 def _pointed_log_paths(dfs, path):
-    """Change-log paths a full save at ``path`` supersedes: the
-    conventional sibling, plus whatever log the v3 manifest being
-    overwritten points at (it may be custom)."""
+    """Durable files a full save at ``path`` supersedes: the
+    conventional sibling log, whatever log the v3 manifest being
+    overwritten points at (it may be custom), and — for a v4 manifest —
+    every section and segment file it references, plus orphaned section
+    generations under the conventional prefix (crash leftovers)."""
     log_paths = {f"{path}.log"}
     manifest = read_manifest_line(dfs, path)
-    if manifest is not None and isinstance(manifest.get("log"), str):
-        log_paths.add(manifest["log"])
+    if manifest is not None:
+        log_base = manifest.get("log")
+        if isinstance(log_base, str):
+            log_paths.add(log_base)
+        for section in manifest.get("sections", ()):
+            if not isinstance(section, dict):
+                continue
+            for field in ("file", "segment"):
+                if isinstance(section.get(field), str):
+                    log_paths.add(section[field])
+    log_paths.update(dfs.list_files(prefix=section_file_prefix(path)))
+    log_paths.discard(path)
     return log_paths
 
 
@@ -461,6 +536,11 @@ def save_snapshot(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
     ranker_name = getattr(ranker, "name", ranker)
     if log_path is None:
         log_path = f"{path}.log"
+    # A v3 snapshot is authoritative for everything the overwritten
+    # manifest referenced: segment/section files of a v4 deployment at
+    # this path are subsumed and must not linger (their records would be
+    # invisible to the v3 loader).
+    stale = _pointed_log_paths(dfs, path) - {log_path}
     sections, body = _sectioned_body(repository, keys=keys or {})
     header = {MANIFEST_KEY: LOG_MANIFEST_VERSION,
               "num_shards": getattr(repository, "num_shards", 0),
@@ -474,6 +554,8 @@ def save_snapshot(repository, dfs, path=DEFAULT_REPOSITORY_PATH,
     status = dfs.write_lines(path, [manifest] + body, overwrite=True)
     if truncate_log:
         dfs.write_lines(log_path, [], overwrite=True)
+    for old in stale:
+        dfs.delete_if_exists(old)
     return status
 
 
@@ -495,16 +577,14 @@ def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
     if not lines:
         repository = repository if repository is not None else Repository()
         repository.loader_report = report
-        sibling = f"{path}.log"
-        if dfs.exists(sibling):
-            # The snapshot is gone (or empty) but its change log is not:
-            # records there cannot be replayed without the snapshot's
-            # manifest, and silence would hide the loss.
-            report.orphaned_log_records = dfs.status(sibling).num_lines
+        # The snapshot is gone (or empty) but change-log/segment files
+        # are not: records there cannot be replayed without the
+        # snapshot's manifest, and silence would hide the loss.
+        report.orphaned_log_records = _orphaned_log_lines(dfs, path)
         if report.orphaned_log_records:
             _warn_unbrickable(
-                f"no repository snapshot at {path!r}, but the sibling "
-                f"change log {sibling!r} holds "
+                f"no repository snapshot at {path!r}, but sibling "
+                f"change-log file(s) hold "
                 f"{report.orphaned_log_records} record(s) that cannot "
                 f"be replayed without it; loading empty")
         return repository
@@ -516,6 +596,9 @@ def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
         elif version == LOG_MANIFEST_VERSION:
             repository = _load_incremental(dfs, first, lines[1:], repository,
                                            report)
+        elif version == SEGMENT_MANIFEST_VERSION:
+            repository = _load_segmented(dfs, first, lines[1:], repository,
+                                         report)
         else:
             raise RepositoryError(
                 f"unsupported repository format version {version!r}")
@@ -535,20 +618,18 @@ def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
     report.entries_loaded = len(repository)
     repository.loader_report = report
     if report.format_version in (1, 2):
-        # A v1/v2 manifest carries no log pointer, so a non-empty
-        # sibling change log means mutations were checkpointed after the
-        # last full save — they cannot be replayed, and silence here
-        # would hide the loss.
-        sibling = f"{path}.log"
-        if dfs.exists(sibling):
-            report.orphaned_log_records = dfs.status(sibling).num_lines
+        # A v1/v2 manifest carries no log pointer, so non-empty sibling
+        # change-log or segment files mean mutations were checkpointed
+        # after the last full save — they cannot be replayed, and
+        # silence here would hide the loss.
+        report.orphaned_log_records = _orphaned_log_lines(dfs, path)
         if report.orphaned_log_records:
             _warn_unbrickable(
                 f"found {report.orphaned_log_records} change-log "
-                f"record(s) at {sibling!r} next to a "
-                f"v{report.format_version} snapshot, which cannot "
-                f"reference them; they were NOT replayed (mutations "
-                f"checkpointed after the last full save are lost)")
+                f"record(s) next to the v{report.format_version} "
+                f"snapshot at {path!r}, which cannot reference them; "
+                f"they were NOT replayed (mutations checkpointed after "
+                f"the last full save are lost)")
     if report.fingerprint_mismatches:
         _warn_unbrickable(
             f"{report.fingerprint_mismatches} saved fingerprint(s) in "
@@ -664,22 +745,7 @@ def _load_incremental(dfs, manifest, body, repository, report):
 
 def _replay_log(lines, base_seq, repository, by_key, report):
     report.log_records = len(lines)
-    last = len(lines) - 1
-    for index, line in enumerate(lines):
-        try:
-            record = json.loads(line)
-        except ValueError:
-            record = None
-        if not (isinstance(record, dict) and "seq" in record and "op" in record):
-            if index == last:
-                # Torn tail: a crash mid-append left a partial final
-                # line. Every complete record before it is intact, so
-                # the partial one is dropped, not fatal.
-                report.torn_tail_dropped += 1
-                break
-            raise RepositoryError(
-                f"corrupt repository log: unreadable record at line "
-                f"{index} is not the final line")
+    for record in _parse_segment(lines, report.log_path, report):
         if record["seq"] <= base_seq:
             # Pre-compaction history: a crash between the snapshot
             # rewrite and the log truncation leaves the old records
@@ -723,3 +789,185 @@ def _apply_log_record(record, repository, by_key, report):
         # An op from a newer release: skip it rather than brick the
         # restart (the counter keeps it observable).
         report.dangling_records += 1
+
+
+def _orphaned_log_lines(dfs, path):
+    """Lines in change-log files next to ``path`` that a v1/v2 snapshot
+    (or a missing one) cannot reference: the conventional v3 sibling
+    plus every v4 segment file under its prefix."""
+    sibling = f"{path}.log"
+    files = set(dfs.list_files(prefix=f"{sibling}."))
+    if dfs.exists(sibling):
+        files.add(sibling)
+    return sum(dfs.status(file).num_lines for file in sorted(files))
+
+
+# --- The segmented (v4) loader --------------------------------------------------
+
+
+def _load_segmented(dfs, manifest, body, repository, report):
+    """Rebuild a v4 repository from per-shard section + segment files.
+
+    Reconstruction runs in two phases around the manifest's recorded
+    scan order (valid at its ``last_seq``):
+
+    1. insert every section entry, then replay each segment's records
+       with ``base_seq < seq <= last_seq`` merged across segments in
+       global sequence order — this rebuilds exactly the entry set that
+       was live when the manifest was written — and pin the scan order
+       and tie-break sequences to the manifest's recorded ones;
+    2. replay the remaining records (``seq > last_seq``) in sequence
+       order, exactly like the v3 log replay.
+
+    Records at or below a section's ``base_seq`` watermark are *stale*
+    (a crash between that shard's section rewrite and its segment
+    truncation leaves them behind); each segment independently tolerates
+    a torn final line. Segments can therefore be read in any order — the
+    per-record sequence numbers, not file order, define the replay.
+    """
+    report.format_version = SEGMENT_MANIFEST_VERSION
+    report.log_path = manifest.get("log")
+    report.num_shards = manifest.get("num_shards", 0)
+    if body:
+        raise RepositoryError(
+            f"a v4 manifest file must hold only the manifest line, found "
+            f"{len(body)} extra line(s)")
+    if repository is None:
+        repository = (ShardedRepository(num_shards=report.num_shards)
+                      if report.num_shards >= 1 else Repository())
+    # A partial load into a pre-populated explicit target cannot adopt
+    # the manifest's global order (it is not a permutation of the union)
+    # — mirror the v1-v3 loaders, which skip order restoration there.
+    preexisting = len(repository)
+    order_seq = manifest.get("last_seq", 0)
+    # Sections: the compacted state of each partition, immutable files.
+    section_records = []
+    for section in manifest.get("sections", ()):
+        label = shard_label(section.get("shard"))
+        file = section.get("file")
+        lines = (dfs.read_lines(file)
+                 if file is not None and dfs.exists(file) else [])
+        expected = section.get("entries", len(lines))
+        if len(lines) != expected:
+            raise RepositoryError(
+                f"repository section {file!r} truncated: manifest "
+                f"promises {expected} entr(ies), file holds {len(lines)}")
+        section_records.extend(json.loads(line) for line in lines)
+        report.section_state[label] = {
+            "shard": section.get("shard"),
+            "file": file,
+            "entries": expected,
+            "base_seq": section.get("base_seq", 0),
+            "segment": section.get("segment"),
+        }
+    # Segments: parse each independently (torn tails are per-file),
+    # classify every record against its section's watermark and the
+    # manifest's order watermark, then merge by global sequence number.
+    phase1, phase2 = [], []
+    for label in sorted(report.section_state):
+        state = report.section_state[label]
+        segment = state.get("segment")
+        lines = (dfs.read_lines(segment)
+                 if segment is not None and dfs.exists(segment) else [])
+        report.log_records += len(lines)
+        records = _parse_segment(lines, segment, report)
+        report.segment_records[label] = len(records)
+        for record in records:
+            if record["seq"] <= state["base_seq"]:
+                report.stale_records += 1
+            elif record["seq"] <= order_seq:
+                phase1.append(record)
+            else:
+                phase2.append(record)
+    # Phase 1: the repository as the manifest saw it. The insertion
+    # order here is only a deterministic staging order (recorded
+    # insertion sequence, a total key) — for a normal load the scan
+    # order and tie-breaks are pinned from the manifest below; for a
+    # partial load into a pre-populated target, where pinning is
+    # skipped, it reproduces the original insertion history as closely
+    # as the file allows.
+    by_key = {}
+    section_records.sort(key=lambda record:
+                         record["entry"].get("sequence") or 0)
+    for record in section_records:
+        entry = repository.insert(entry_from_json(record["entry"], report))
+        key = record.get("key")
+        if key is not None:
+            by_key[key] = entry
+    phase1.sort(key=lambda record: record["seq"])
+    for record in phase1:
+        _apply_log_record(record, repository, by_key, report)
+    _force_recorded_order(repository, manifest.get("order", ()), by_key,
+                          partial=preexisting > 0)
+    # Phase 2: everything appended since the manifest was written.
+    phase2.sort(key=lambda record: record["seq"])
+    report.last_seq = order_seq
+    for record in phase2:
+        _apply_log_record(record, repository, by_key, report)
+        report.last_seq = max(report.last_seq, record["seq"])
+    report.keys = {entry.entry_id: key for key, entry in by_key.items()}
+    report.use_stats = {
+        entry.entry_id: (entry.stats.use_count, entry.stats.last_used_tick)
+        for entry in by_key.values()}
+    return repository
+
+
+def _parse_segment(lines, segment, report):
+    """Complete records of one segment file, dropping a torn final line
+    (a crash mid-append) and failing on mid-file corruption."""
+    records = []
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            record = None
+        if not (isinstance(record, dict)
+                and isinstance(record.get("seq"), int) and "op" in record):
+            if index == last:
+                report.torn_tail_dropped += 1
+                break
+            raise RepositoryError(
+                f"corrupt repository segment {segment!r}: unreadable "
+                f"record at line {index} is not the final line")
+        records.append(record)
+    return records
+
+
+def _force_recorded_order(repository, order, by_key, partial=False):
+    """Pin the phase-1 state to the manifest's recorded scan order and
+    tie-break sequences.
+
+    ``order`` is ``[[key, sequence], ...]`` over every entry live when
+    the manifest was written; after phase 1 the repository must hold
+    exactly that set (the compaction protocol flushes every record at or
+    below ``last_seq`` before the manifest lands), so a mismatch means
+    the durable files are corrupt, not merely stale. ``partial`` marks a
+    load into a pre-populated explicit target: the recorded order is
+    not a permutation of the union, so — exactly like the v1-v3
+    loaders' ``_restore_saved_order`` no-op — pinning is skipped (key
+    resolution is still checked: the keys come from this file alone).
+    """
+    entries = []
+    sequences = []
+    for key, sequence in order:
+        entry = by_key.get(key)
+        if entry is None:
+            raise RepositoryError(
+                f"corrupt repository manifest: scan order references "
+                f"key {key!r}, which no section or segment defines")
+        entries.append(entry)
+        sequences.append(sequence)
+    if partial:
+        return
+    if len(entries) != len(repository):
+        raise RepositoryError(
+            f"corrupt repository manifest: scan order lists "
+            f"{len(entries)} entr(ies), sections+segments rebuilt "
+            f"{len(repository)}")
+    if not entries:
+        return
+    for entry, sequence in zip(entries, sequences):
+        entry._sequence = sequence
+    repository._sequence = max(sequences) + 1
+    repository.force_scan_order(entries)

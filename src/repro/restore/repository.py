@@ -170,6 +170,23 @@ class Repository:
         :class:`~repro.restore.sharding.ShardedRepository`)."""
         return None
 
+    def shard_sizes(self):
+        """Entry count per partition, ``{shard_id: entries}`` — the
+        denominator of segmented persistence's per-shard dirty ratio
+        (:meth:`~repro.restore.wal.RepositoryLog.dirty_shards`). An
+        unsharded repository is one partition under the ``None`` id,
+        matching the shard tag its change events carry."""
+        return {None: len(self)}
+
+    def shard_members(self, shard_id):
+        """The entries owned by partition ``shard_id`` (unordered — the
+        segmented snapshot writer re-sorts by scan rank). The unsharded
+        repository owns everything in its single ``None`` partition."""
+        if shard_id is not None:
+            raise RepositoryError(
+                f"an unsharded repository has no shard {shard_id!r}")
+        return tuple(self._entries)
+
     def __len__(self):
         return len(self._entries)
 

@@ -1,40 +1,54 @@
-"""Incremental repository persistence: the append-only change log.
+"""Incremental repository persistence: per-shard segmented change logs.
 
 The paper's repository is long-lived durable state ("Facebook stores the
 result of any query ... for seven days"), yet :func:`save_repository`
 rewrites the entire file on every checkpoint — O(repository) per save,
 which defeats the production-scale goal once the repository holds
 thousands of entries. :class:`RepositoryLog` makes the steady-state
-checkpoint cost O(delta) instead:
+checkpoint cost O(delta) — and, since the log is **segmented along the
+shard layout**, the steady-state *compaction* cost O(dirty shards):
 
 * it subscribes to the repository's **change-event channel**
   (``Repository.add_listener``) and turns every mutation — insert,
   remove, use-stamp — into one JSONL record tagged with a monotonic
   sequence number and the owning shard id;
-* :meth:`checkpoint` appends the buffered records to a side log through
+* records are buffered per partition and :meth:`flush` appends each
+  group to that shard's own **segment file** through
   :meth:`~repro.dfs.filesystem.DistributedFileSystem.append_lines`
   (which places blocks only for the new lines), so the per-checkpoint
   write is proportional to what changed since the last one;
-* when the log outgrows the snapshot (``log records / repository
-  entries > compact_ratio``), :meth:`compact` amortizes it away: one
-  full v3 snapshot rewrite (:func:`~repro.restore.persistence.save_snapshot`)
-  followed by a log truncation.
+* when one shard's segment outgrows its slice of the repository
+  (``segment records / shard entries > compact_ratio``), :meth:`compact`
+  amortizes it away **for that shard only**: the dirty shard's snapshot
+  *section file* is rewritten (a fresh immutable generation), the v4
+  manifest is re-pointed, and just that shard's segment is truncated.
+  Clean shards' sections are reused at the file level — a mutation burst
+  confined to one of N shards compacts in O(n/N), not O(n).
 
-Crash safety is positional, not transactional: the snapshot is written
-*before* the log is truncated, so a crash between the two leaves old
-records whose sequence numbers are at or below the new snapshot's
-``base_seq`` — replay skips them as stale. A crash mid-append leaves a
-partial final line — replay drops the torn tail. Either way
-``load_repository`` rebuilds exactly the state of the last completed
-append, and a re-attached ``RepositoryLog`` resumes from the loader's
-replay state (healing the log with a fresh compaction when the tail was
-torn). Use-stamps are logged as absolute counter values, so replaying
-one twice converges instead of double-counting.
+Crash safety is positional, not transactional, per shard: new section
+files land under *new* names, then the manifest swap makes them
+authoritative, and only then are the dirty segments truncated. A crash
+before the manifest swap leaves unreferenced section files (garbage,
+collected by the next compaction); a crash after it leaves old segment
+records at or below the new section's ``base_seq`` watermark — replay
+skips them as stale. A crash mid-append leaves a torn final line in one
+segment — replay drops it. Either way ``load_repository`` rebuilds
+exactly the durable state, and a re-attached ``RepositoryLog`` resumes
+from the loader's replay state (healing with a full compaction when the
+files show crash damage). Use-stamps are logged as absolute counter
+values, so replaying one twice converges instead of double-counting.
 
 Entries are identified across restarts by **stable log keys** (the
-``key`` field in snapshot and log records), assigned by this class on
+``key`` field in section and segment records), assigned by this class on
 insert — entry ids are process-local and re-minted on every load, so
-remove/use records cannot reference them.
+remove/use records cannot reference them. All records of one entry
+(insert, use-stamps, remove) land in one segment: the owning shard is a
+pure function of the entry's loads, fixed for its lifetime.
+
+Attaching to a repository loaded from a v1/v2/v3 file migrates it: the
+initial full compaction splits the single file into per-shard sections
+and segments losslessly (scan order, statistics, and match decisions are
+bit-identical — the property suite proves it).
 """
 
 import json
@@ -43,26 +57,33 @@ from repro.common.errors import RepositoryError
 from repro.restore.persistence import (
     DEFAULT_REPOSITORY_PATH,
     entry_to_json,
-    LOG_MANIFEST_VERSION,
+    MANIFEST_KEY,
     read_manifest_line,
-    save_snapshot,
+    section_file_path,
+    section_file_prefix,
+    SEGMENT_MANIFEST_VERSION,
+    segment_file_path,
+    shard_label,
 )
 
 
 class RepositoryLog:
-    """Append-only change log + periodic compaction for one repository.
+    """Segmented append-only change log + dirty-only compaction.
 
     Parameters:
 
-    * ``dfs`` — the file system holding snapshot and log;
-    * ``path`` — the snapshot path (shared with ``load_repository``);
-    * ``log_path`` — the change-log path (default ``<path>.log``);
-    * ``compact_ratio`` — compaction threshold: compact when log records
-      per repository entry exceed this (≤ 0 is rejected; large values
-      effectively disable compaction, which the ablation benchmark uses
-      to isolate the append cost);
-    * ``ranker`` — deployment metadata recorded in the snapshot manifest,
-      exactly as ``save_repository(..., ranker=...)`` records it.
+    * ``dfs`` — the file system holding manifest, sections and segments;
+    * ``path`` — the manifest path (shared with ``load_repository``);
+      section files live at ``<path>.sec-<label>.g<generation>``;
+    * ``log_path`` — the segment *base* path (default ``<path>.log``):
+      shard ``s``'s segment is ``<log_path>.<s>``, the catch-all's (and
+      a plain repository's single partition's) is ``<log_path>.catchall``;
+    * ``compact_ratio`` — per-shard compaction threshold: a shard is
+      *dirty* when its segment records per owned entry exceed this
+      (≤ 0 is rejected; large values effectively disable compaction,
+      which the ablation benchmark uses to isolate the append cost);
+    * ``ranker`` — deployment metadata recorded in the manifest, exactly
+      as ``save_repository(..., ranker=...)`` records it.
 
     Call :meth:`attach` to bind a repository (the indexed
     :class:`~repro.restore.repository.Repository` or the sharded
@@ -86,8 +107,16 @@ class RepositoryLog:
         self._seq = 0                # last sequence number assigned
         self._next_key = 0           # stable-key allocator
         self._keys = {}              # entry_id -> stable log key
-        self._pending = []           # serialized records not yet on DFS
-        self._log_records = 0        # complete records in the DFS log
+        self._pending = {}           # label -> serialized records not on DFS
+        self._segment_records = {}   # label -> complete records in its segment
+        self._sections = {}          # label -> manifest section descriptor
+        # Section-file generation counter. Strictly monotonic and
+        # *decoupled from the sequence counter*: a healing or repeated
+        # compaction can run at an unchanged seq, and naming files by
+        # seq alone would overwrite the currently-referenced section in
+        # place — a crash before the manifest swap would then brick the
+        # restart. attach() seeds it above every generation on disk.
+        self._generation = 0
 
     # Lifecycle --------------------------------------------------------------
 
@@ -95,13 +124,16 @@ class RepositoryLog:
         """Bind ``repository`` and subscribe to its change events.
 
         A repository freshly rebuilt by ``load_repository`` from this
-        snapshot/log pair resumes seamlessly: sequence numbers and
-        stable keys continue from the loader's replay state. Anything
-        else — a live repository, one loaded from a v1/v2 file, or a
-        reload whose log had crash damage (torn tail, stale records) —
-        is checkpointed immediately: attach writes a fresh v3 snapshot
-        and truncates the log. That initial compaction is also the
-        v1→v3 / v2→v3 migration path.
+        manifest resumes seamlessly: sequence numbers, stable keys,
+        per-segment record counts, and the clean sections' file
+        pointers continue from the loader's replay state. Anything
+        else — a live repository, one loaded from a v1/v2/v3 file, or a
+        reload whose segments had crash damage (torn tails, stale
+        records) — is checkpointed immediately: attach writes a fresh
+        full v4 snapshot (every section) and truncates every segment.
+        That initial compaction is also the v1/v2/v3 → v4 migration
+        path, splitting a single-file snapshot+log into per-shard
+        sections and segments.
         """
         if self.repository is not None:
             if self.repository is repository:
@@ -132,9 +164,9 @@ class RepositoryLog:
             # the wipe guard and compact over dfs_B's durable state).
             and getattr(repository.loader_report, "dfs", None) is self.dfs
             # And a file must actually have been read: a load that found
-            # nothing (e.g. the snapshot was deleted while the change
-            # log still holds records) vouches for nothing — the wipe
-            # guard must still protect the log.
+            # nothing (e.g. the manifest was deleted while segments
+            # still hold records) vouches for nothing — the wipe
+            # guard must still protect the segments.
             and repository.loader_report.format_version is not None)
         probe = None  # lazy: the clean-resume path never needs it
         if len(repository) == 0 and not loaded_from_here:
@@ -154,16 +186,17 @@ class RepositoryLog:
         self.repository = repository
         # A fresh binding: records buffered (and keys assigned) for a
         # previously attached repository describe state this one does
-        # not share — flushing them into the new log would inject ghost
-        # mutations and reused sequence numbers (detach() warns to
+        # not share — flushing them into the new segments would inject
+        # ghost mutations and reused sequence numbers (detach() warns to
         # flush/close first if they were wanted).
-        self._pending = []
+        self._pending = {}
         self._keys = {}
-        self._log_records = 0
+        self._segment_records = {}
+        self._sections = {}
         report = getattr(repository, "loader_report", None)
         resumable = (
             report is not None
-            and report.format_version == LOG_MANIFEST_VERSION
+            and report.format_version == SEGMENT_MANIFEST_VERSION
             and report.snapshot_path == self.path
             and report.log_path == self.log_path
             and getattr(report, "dfs", None) is self.dfs
@@ -171,10 +204,14 @@ class RepositoryLog:
             # as loaded. A later attach (after mutations possibly logged
             # and compacted by another RepositoryLog) must not rewind the
             # sequence counter to load time — records appended after a
-            # rewind would sit at or below the on-DFS base_seq and be
+            # rewind would sit at or below the on-DFS watermarks and be
             # silently skipped as stale on the next reload.
             and not report.replay_state_consumed
             and self.dfs.exists(self.path)
+            # The on-DFS partition layout must be the live one: a v4
+            # file loaded into a repository with a different shard count
+            # would tag events with shard ids its sections do not cover.
+            and self._layout_matches(report)
         )
         if report is not None:
             report.replay_state_consumed = True
@@ -204,33 +241,50 @@ class RepositoryLog:
             self._assign_key(entry)
         repository.add_listener(self._on_event)
         repository.persistence_log = self
+        self._generation = 1 + max(
+            (_section_generation(file) for file in self.dfs.list_files(
+                prefix=section_file_prefix(self.path))), default=-1)
         clean = (resumable
                  and not unkeyed
                  and not untracked_mutations
                  and report.torn_tail_dropped == 0
-                 and report.stale_records == 0)
+                 and report.stale_records == 0
+                 and report.dangling_records == 0)
         if clean:
-            self._log_records = report.log_records
+            self._segment_records = dict(report.segment_records)
+            self._sections = {label: dict(state)
+                              for label, state in report.section_state.items()}
         else:
-            # The healing compaction must not hand out a base_seq below
+            # The healing compaction must not hand out watermarks below
             # sequence numbers already durable at this path: if the
-            # compaction crashes between the snapshot write and the log
-            # truncation, leftover records above base_seq would replay
-            # as fresh mutations on top of a snapshot that never saw
-            # them.
+            # compaction crashes between the manifest swap and the
+            # segment truncation, leftover records above the watermark
+            # would replay as fresh mutations on top of sections that
+            # never saw them.
             if probe is None:
                 probe = self._probe_durable_state()
             self._seq = max(self._seq, probe[1])
             self.compact()
         return self
 
+    def _layout_matches(self, report):
+        """Does the loaded manifest's partition layout (labels and
+        segment paths) match what this log would write for the live
+        repository?"""
+        expected = {shard_label(shard_id)
+                    for shard_id in self.repository.shard_sizes()}
+        if set(report.section_state) != expected:
+            return False
+        return all(state.get("segment") == self._segment_path(label)
+                   for label, state in report.section_state.items())
+
     def _probe_durable_state(self):
         """One pass over the durable files at this path, returning
         ``(records, max_seq)``: how many records they hold (snapshot
-        entries plus outstanding change-log lines — state can live
-        entirely in the log before the first compaction; conservative,
+        entries plus outstanding segment lines — state can live entirely
+        in the segments before the first compaction; conservative,
         possibly-stale lines included) and the highest sequence number
-        among the snapshot's ``base_seq`` and the log's records
+        among the manifest's watermarks and the segment records
         (unparseable lines, e.g. a torn tail, are skipped). Runs once
         per :meth:`attach` — the wipe guard needs the count, the
         non-resumable compaction needs the sequence floor."""
@@ -241,14 +295,23 @@ class RepositoryLog:
             if manifest is not None:
                 num_lines = self.dfs.status(self.path).num_lines
                 records += manifest.get("entries", max(0, num_lines - 1))
-                base_seq = manifest.get("base_seq", 0)
-                if isinstance(base_seq, int):
-                    top = max(top, base_seq)
+                for field in ("base_seq", "last_seq"):
+                    value = manifest.get(field, 0)
+                    if isinstance(value, int):
+                        top = max(top, value)
+                for section in manifest.get("sections", ()):
+                    if (isinstance(section, dict)
+                            and isinstance(section.get("base_seq"), int)):
+                        top = max(top, section["base_seq"])
             else:
                 # v1 (or unreadable first line): one entry per line.
                 records += self.dfs.status(self.path).num_lines
+        # The legacy single v3 log plus every v4 segment under the base.
+        log_files = set(self.dfs.list_files(prefix=f"{self.log_path}."))
         if self.dfs.exists(self.log_path):
-            log_lines = self.dfs.read_lines(self.log_path)
+            log_files.add(self.log_path)
+        for log_file in sorted(log_files):
+            log_lines = self.dfs.read_lines(log_file)
             records += len(log_lines)
             for line in log_lines:
                 try:
@@ -285,8 +348,8 @@ class RepositoryLog:
 
     def _on_event(self, op, entry):
         self._seq += 1
-        record = {"seq": self._seq, "op": op,
-                  "shard": self.repository.shard_id_of(entry)}
+        shard_id = self.repository.shard_id_of(entry)
+        record = {"seq": self._seq, "op": op, "shard": shard_id}
         if op == "insert":
             record["key"] = self._assign_key(entry)
             record["entry"] = entry_to_json(entry)
@@ -299,84 +362,237 @@ class RepositoryLog:
             record["last_used_tick"] = entry.stats.last_used_tick
         else:
             return  # an event this release does not persist
-        self._pending.append(json.dumps(record, sort_keys=True))
+        self._pending.setdefault(shard_label(shard_id), []).append(
+            json.dumps(record, sort_keys=True))
 
     # Checkpointing ----------------------------------------------------------
 
+    def segment_path(self, shard_id):
+        """The segment file holding ``shard_id``'s change records."""
+        return self._segment_path(shard_label(shard_id))
+
+    def _segment_path(self, label):
+        return segment_file_path(self.log_path, label)
+
     @property
     def pending_records(self):
-        """Buffered change records not yet appended to the DFS log."""
-        return len(self._pending)
+        """Buffered change records not yet appended to any segment."""
+        return sum(len(lines) for lines in self._pending.values())
 
     @property
     def log_records(self):
-        """Complete change records currently in the DFS log."""
-        return self._log_records
+        """Complete change records across all DFS segments."""
+        return sum(self._segment_records.values())
+
+    def segment_record_counts(self):
+        """Complete on-DFS records per partition label (observability)."""
+        return {label: count
+                for label, count in sorted(self._segment_records.items())
+                if count}
 
     def log_ratio(self):
-        """(on-DFS + pending) log records per repository entry — what
-        :attr:`compact_ratio` bounds (0 entries count as 1; an
-        unattached log reports over the empty repository)."""
+        """(on-DFS + pending) change records per repository entry,
+        across all segments (0 entries count as 1; an unattached log
+        reports over the empty repository). Compaction triggers on the
+        *per-shard* ratios — see :meth:`dirty_shards` — this global view
+        is kept for reporting."""
         size = len(self.repository) if self.repository is not None else 0
-        return (self._log_records + len(self._pending)) / max(1, size)
+        return (self.log_records + self.pending_records) / max(1, size)
+
+    def _sizes_by_label(self):
+        if self.repository is None:
+            return {}
+        return {shard_label(shard_id): size
+                for shard_id, size in self.repository.shard_sizes().items()}
+
+    def dirty_shards(self):
+        """Labels of partitions whose segments outgrew their slice:
+        (segment + pending records) per owned entry above
+        ``compact_ratio``. These are the shards :meth:`checkpoint` will
+        compact — the others' sections are reused untouched."""
+        sizes = self._sizes_by_label()
+        dirty = []
+        for label in sorted(set(self._segment_records) | set(self._pending)):
+            records = (self._segment_records.get(label, 0)
+                       + len(self._pending.get(label, ())))
+            if records > 0 and (records / max(1, sizes.get(label, 0))
+                                > self.compact_ratio):
+                dirty.append(label)
+        return dirty
 
     def should_compact(self):
-        total = self._log_records + len(self._pending)
-        return total > 0 and self.log_ratio() > self.compact_ratio
+        return bool(self.dirty_shards())
 
     def flush(self):
-        """Append pending change records to the DFS log; O(delta)."""
-        if not self._pending:
-            return 0
-        appended = len(self._pending)
-        self.dfs.append_lines(self.log_path, self._pending)
-        self._log_records += appended
-        self._pending = []
+        """Append pending change records to their segments; O(delta),
+        one tail-block append per touched partition."""
+        return self._flush_labels(sorted(self._pending))
+
+    def _flush_labels(self, labels):
+        appended = 0
+        for label in labels:
+            lines = self._pending.get(label)
+            if not lines:
+                continue
+            self.dfs.append_lines(self._segment_path(label), lines)
+            self._segment_records[label] = (
+                self._segment_records.get(label, 0) + len(lines))
+            # Cleared per label as soon as its append lands, so a
+            # failure on a later segment cannot double-append this one.
+            self._pending[label] = []
+            appended += len(lines)
+        self._pending = {label: lines
+                         for label, lines in self._pending.items() if lines}
         return appended
 
     def checkpoint(self):
         """Bring the on-DFS state up to the live repository.
 
-        Appends the pending deltas — unless the log has outgrown the
-        ``compact_ratio`` threshold, in which case the whole repository
-        is compacted instead (the pending deltas are subsumed by the
-        snapshot). Returns ``{"appended": n, "compacted": bool}``.
+        Appends the pending deltas — except for partitions whose
+        segments outgrew the ``compact_ratio`` threshold, which are
+        compacted instead (their pending deltas are subsumed by the
+        fresh section rewrite). Returns ``{"appended": n,
+        "compacted": bool, "compacted_shards": [labels]}``; ``appended``
+        counts every pending record made durable either way.
         """
-        if self.should_compact():
-            subsumed = len(self._pending)
-            self.compact()
-            return {"appended": subsumed, "compacted": True}
-        return {"appended": self.flush(), "compacted": False}
+        dirty = self.dirty_shards()
+        if dirty:
+            durable = self.pending_records
+            self.compact(dirty)
+            return {"appended": durable, "compacted": True,
+                    "compacted_shards": dirty}
+        return {"appended": self.flush(), "compacted": False,
+                "compacted_shards": []}
 
-    def compact(self):
-        """Full v3 snapshot rewrite + log truncation.
+    def compact(self, shards=None):
+        """Streaming snapshot rewrite of ``shards`` (labels; default:
+        every partition) + truncation of just those shards' segments.
 
-        The snapshot lands before the log is truncated
-        (``save_snapshot`` orders the two writes), so a crash between
-        them leaves only records the snapshot's ``base_seq`` already
-        covers — replay skips them as stale.
+        Per dirty shard, in crash-safe order:
+
+        1. clean shards' pending records are flushed first, so every
+           record at or below the new manifest's ``last_seq`` is durable
+           before the manifest references that sequence number;
+        2. each compacted shard's entries are rewritten into a **new**
+           generation-suffixed section file — never in place, so a crash
+           here leaves the old manifest's files intact (the new ones are
+           unreferenced garbage, collected by the next compaction);
+        3. the manifest swap makes the new sections (and the recorded
+           global scan order) authoritative;
+        4. only then are the compacted shards' segments truncated — a
+           crash between 3 and 4 leaves records at or below the new
+           sections' ``base_seq``, skipped as stale on replay;
+        5. superseded section generations (and a legacy v3 single log)
+           are deleted.
+
+        The cost is O(entries of the compacted shards) serialization
+        plus an O(repository) — but cheap, keys-only — manifest line.
         """
-        save_snapshot(self.repository, self.dfs, self.path,
-                      log_path=self.log_path, base_seq=self._seq,
-                      keys=self._keys, ranker=self.ranker)
-        # Only now are the buffered records subsumed by a snapshot that
+        repository = self.repository
+        labels = {shard_label(shard_id): shard_id
+                  for shard_id in repository.shard_sizes()}
+        if shards is None:
+            targets = dict(labels)
+        else:
+            unknown = sorted(set(shards) - set(labels))
+            if unknown:
+                raise RepositoryError(
+                    f"cannot compact unknown partition(s) {unknown}; "
+                    f"this repository has {sorted(labels)}")
+            targets = {label: labels[label] for label in shards}
+        for label, shard_id in labels.items():
+            # A partition with no recorded section state must be
+            # rewritten too, or the new manifest could not reference it.
+            if label not in targets and label not in self._sections:
+                targets[label] = shard_id
+        self._flush_labels([label for label in sorted(self._pending)
+                            if label not in targets])
+        watermark = self._seq
+        # A fresh generation per compaction, even at an unchanged seq:
+        # the referenced section files must never be rewritten in place.
+        generation = self._generation
+        self._generation += 1
+        rank = repository.scan_rank()
+        sections = {}
+        for label in sorted(labels):
+            if label not in targets:
+                sections[label] = self._sections[label]
+                continue
+            members = sorted(repository.shard_members(labels[label]),
+                             key=lambda entry: rank[entry.entry_id])
+            file = None
+            if members:
+                file = section_file_path(self.path, label, generation)
+                lines = [json.dumps({"position": rank[entry.entry_id],
+                                     "key": self._keys[entry.entry_id],
+                                     "entry": entry_to_json(entry)},
+                                    sort_keys=True)
+                         for entry in members]
+                self.dfs.write_lines(file, lines, overwrite=True)
+            sections[label] = {"shard": labels[label], "file": file,
+                               "entries": len(members),
+                               "base_seq": watermark,
+                               "segment": self._segment_path(label)}
+        order = [[self._keys[entry.entry_id], entry._sequence]
+                 for entry in repository.scan()]
+        header = {MANIFEST_KEY: SEGMENT_MANIFEST_VERSION,
+                  "num_shards": getattr(repository, "num_shards", 0),
+                  "entries": len(repository),
+                  "last_seq": watermark,
+                  "log": self.log_path,
+                  "order": order,
+                  "sections": [sections[label] for label in sorted(sections)]}
+        ranker_name = getattr(self.ranker, "name", self.ranker)
+        if ranker_name is not None:
+            header["ranker"] = ranker_name
+        self.dfs.write_lines(self.path, [json.dumps(header, sort_keys=True)],
+                             overwrite=True)
+        for label in sorted(targets):
+            segment = sections[label]["segment"]
+            if self.dfs.exists(segment):
+                self.dfs.write_lines(segment, [], overwrite=True)
+        # Only now are the buffered records subsumed by sections that
         # actually landed — a failed write must leave them pending, or a
         # caller that catches the error and retries would silently lose
         # those mutations.
-        self._pending = []
-        self._log_records = 0
+        for label in targets:
+            self._pending.pop(label, None)
+            self._segment_records[label] = 0
+        self._sections = sections
+        referenced = {state["file"] for state in sections.values()
+                      if state["file"] is not None}
+        for old in self.dfs.list_files(prefix=section_file_prefix(self.path)):
+            if old not in referenced:
+                self.dfs.delete_if_exists(old)
+        # A legacy single-file v3 log at the base path is fully subsumed
+        # by the sections (this is the v3 -> v4 migration tail).
+        self.dfs.delete_if_exists(self.log_path)
+        return sorted(targets)
 
     def describe(self):
         state = "unattached" if self.repository is None else f"seq {self._seq}"
+        dirty = ", ".join(self.dirty_shards()) or "none"
         return (
-            f"RepositoryLog[{self.path} + {self.log_path}]: "
-            f"{state}, {self._log_records} logged record(s), "
-            f"{len(self._pending)} pending, "
-            f"ratio {self.log_ratio():.2f}/{self.compact_ratio}"
+            f"RepositoryLog[{self.path} + {self.log_path}.*]: "
+            f"{state}, {self.log_records} logged record(s) across "
+            f"{sum(1 for count in self._segment_records.values() if count)} "
+            f"segment(s), {self.pending_records} pending, "
+            f"ratio {self.log_ratio():.2f}/{self.compact_ratio}, "
+            f"dirty: {dirty}"
         )
 
     def __repr__(self):
         return f"<{self.describe()}>"
+
+
+def _section_generation(file):
+    """The integer generation suffix of a section file name
+    (``"....g17"`` → 17); unparseable names count as -1 so the
+    allocator simply skips past them."""
+    _, _, suffix = file.rpartition(".g")
+    if suffix.isdigit():
+        return int(suffix)
+    return -1
 
 
 def _key_index(key):

@@ -24,6 +24,7 @@ class TestRepoDocs:
     def test_expected_docs_exist(self):
         assert os.path.exists(_repo_path("README.md"))
         assert os.path.exists(_repo_path("docs", "ARCHITECTURE.md"))
+        assert os.path.exists(_repo_path("docs", "PERSISTENCE.md"))
 
     def test_no_broken_intra_repo_links(self):
         problems = []
@@ -54,8 +55,23 @@ class TestRepoDocs:
                   encoding="utf-8") as handle:
             text = handle.read()
         for topic in ("lifecycle", "fingerprint", "shard", "manifest",
-                      "restore-manifest"):
+                      "segment", "dirty"):
             assert topic in text.lower()
+
+    def test_persistence_reference_covers_required_topics(self):
+        """docs/PERSISTENCE.md is the registered durable-format
+        reference: it must keep the lineage, grammar, watermark, and
+        crash-ordering material the loaders/writers implement."""
+        with open(_repo_path("docs", "PERSISTENCE.md"),
+                  encoding="utf-8") as handle:
+            text = handle.read()
+        for topic in ("restore-manifest", "base_seq", "last_seq",
+                      "watermark", "section", "segment", "torn", "stale",
+                      "dangling", "walkthrough", "snapshot-before-",
+                      "migration"):
+            assert topic in text.lower(), topic
+        for version in ("v1", "v2", "v3", "v4"):
+            assert version in text
 
 
 class TestDoccheckTool:
