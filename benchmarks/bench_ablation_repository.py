@@ -17,13 +17,21 @@
   ``save_repository`` rewrite (O(repository)) vs the append-only
   ``RepositoryLog`` (O(delta)) at 1000 entries under a steady stream of
   small deltas — with the replayed state verified bit-identical;
-* **segmented persistence** (PR 5): dirty-only compaction vs
-  whole-repository compaction at 1000 entries across 8 shards with
-  mutations confined to one shard — only the dirty shard's snapshot
-  section is rewritten and only its segment truncated (O(dirty shards),
-  bar ≥3x), replay verified bit-identical.
+* **segmented persistence** (PR 5, v5 order-delta manifests in PR 6):
+  dirty-only compaction vs whole-repository compaction at 1000 entries
+  across 8 shards with mutations confined to one shard — only the dirty
+  shard's snapshot section is rewritten, only its segment truncated,
+  and only a scan-order *delta* appended (O(dirty shards), bar ≥3x),
+  replay verified bit-identical;
+* **worker-process service** (PR 6): the 8-shard workload with each
+  partition promoted to a worker process behind the routing front-end,
+  probes shipped through the batched IPC-amortized path — candidate
+  sequences bit-identical to the serial executor (asserted on any
+  hardware), throughput bar ≥1.2x enforced on ≥4 cores.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -399,6 +407,117 @@ def test_sharded_match_throughput_scales(benchmark, record_experiment):
     )
 
 
+# --- Worker-process service: routed batched probes vs serial fan-out (PR 6) ---
+#
+# The same 1000-entry 8-shard workload, with the partitions promoted to
+# worker processes behind the routing front-end. Probes ship through the
+# IPC-amortized batch API (one message per consulted worker per batch),
+# so the per-worker filters genuinely overlap across cores. Candidate
+# sequences must be bit-identical to the serial executor's throughout —
+# that assertion is unconditional; the throughput bar only applies on
+# hardware that can actually overlap the workers.
+
+_SERVICE_SIZE = 1000
+_SERVICE_SHARDS = 8
+_SERVICE_ROUNDS = 3
+
+
+@pytest.mark.benchmark(group="ablation-worker-service")
+def test_worker_service_match_throughput(benchmark, record_experiment):
+    """The service arm of the ablation: match throughput of the
+    process-backed 8-shard repository (batched probes) vs the serial
+    executor, decisions bit-identical. On >=4 cores the overlapped
+    workers must win (bar: >=1.2x)."""
+    pool_size = max(4, _SERVICE_SIZE // 10)
+    plans = [_fabricated_plan(index, pool_size)
+             for index in range(_SERVICE_SIZE)]
+
+    def populate(repository):
+        for index, plan in enumerate(plans):
+            stats = EntryStats(
+                input_bytes=1000 + (index % 7) * 500,
+                output_bytes=10 + (index % 5) * 30,
+                producing_job_time=1.0 + (index % 11),
+            )
+            repository.insert(
+                RepositoryEntry(plan, f"/stored/s{index}", stats))
+        return repository
+
+    serial = populate(ShardedRepository(num_shards=_SERVICE_SHARDS,
+                                        executor="serial"))
+    service = populate(ShardedRepository(num_shards=_SERVICE_SHARDS,
+                                         executor="processes"))
+    probes = [_fabricated_plan(_SERVICE_SIZE * 2 + index, pool_size,
+                               extra_op=f"svcprobe{index}")
+              for index in range(pool_size)]
+
+    # Unconditional: the routed batch answers exactly what the serial
+    # fan-out answers, probe for probe, entry for entry.
+    reference = [[e.output_path for e in cs]
+                 for cs in serial.match_candidates_batch(probes)]
+    assert [[e.output_path for e in cs]
+            for cs in service.match_candidates_batch(probes)] == reference
+
+    def measure():
+        timings = {}
+        for label, run in (
+                ("serial",
+                 lambda: [serial.match_candidates(probe)
+                          for _ in range(_SERVICE_ROUNDS)
+                          for probe in probes]),
+                ("processes-batched",
+                 lambda: [service.match_candidates_batch(probes)
+                          for _ in range(_SERVICE_ROUNDS)])):
+            passes = []
+            for _ in range(3):
+                seconds, _ = _timed(run)
+                passes.append(seconds)
+            timings[label] = min(passes)
+        return timings
+
+    try:
+        timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        service.close()
+        serial.close()
+    num_probes = len(probes) * _SERVICE_ROUNDS
+    throughput = {label: num_probes / max(seconds, 1e-9)
+                  for label, seconds in timings.items()}
+    speedup = throughput["processes-batched"] / max(throughput["serial"],
+                                                    1e-9)
+    cores = os.cpu_count() or 1
+    record_experiment(ExperimentResult(
+        "ablation_worker_service",
+        f"Worker-process service vs serial executor "
+        f"({_SERVICE_SIZE} entries, {_SERVICE_SHARDS} shards, "
+        f"{num_probes} probes, batched routing, {cores} core(s))",
+        ["arm", "seconds", "probes_per_s", "speedup"],
+        [
+            {"arm": "serial executor",
+             "seconds": round(timings["serial"], 6),
+             "probes_per_s": round(throughput["serial"], 1),
+             "speedup": 1.0},
+            {"arm": "worker processes (batched probes)",
+             "seconds": round(timings["processes-batched"], 6),
+             "probes_per_s": round(throughput["processes-batched"], 1),
+             "speedup": round(speedup, 2)},
+        ],
+        notes=[
+            "decisions bit-identical to the serial fan-out (asserted "
+            "unconditionally)",
+            f"service vs serial throughput: {speedup:.2f}x on {cores} "
+            f"core(s) (bar >=1.2x, enforced at >=4 cores)",
+        ],
+    ))
+    if cores >= 4:
+        assert speedup >= 1.2, (
+            f"the worker-process service must beat the serial executor "
+            f"on {cores} cores at {_SERVICE_SHARDS} shards, got "
+            f"{speedup:.2f}x (serial {timings['serial']:.4f}s, "
+            f"batched {timings['processes-batched']:.4f}s)"
+        )
+
+
 # --- Candidate ranking: structural order vs cost-model savings (PR 3) ---------
 #
 # Both arms run the same PigMix-style stream (repeats included, so the
@@ -667,6 +786,28 @@ def test_segmented_compaction_is_dirty_only(benchmark, record_experiment):
             [(e.output_path, e.stats.use_count, e.stats.last_used_tick)
              for e in twin.scan()]
 
+    # v5 order-delta manifests: the dirty-only compaction's manifest
+    # write is O(dirty shards) — the global order is NOT re-embedded or
+    # rewritten. Use-stamps change no scan position, so the appended
+    # delta record is empty, however many entries the repository holds;
+    # the full arm's rebase re-records all _SEGMENTED_SIZE pairs.
+    manifest = json.loads(
+        dirty_dfs.read_lines(DEFAULT_REPOSITORY_PATH)[0])
+    assert "order" not in manifest
+    order_records = [json.loads(line)
+                     for line in dirty_dfs.read_lines(manifest["order_log"])]
+    delta = order_records[-1]
+    assert "full" not in delta
+    assert delta["removed"] == [] and delta["inserted"] == []
+    full_manifest = json.loads(
+        full_dfs.read_lines(DEFAULT_REPOSITORY_PATH)[0])
+    [full_record] = [json.loads(line) for line in
+                     full_dfs.read_lines(full_manifest["order_log"])]
+    assert len(full_record["full"]) == _SEGMENTED_SIZE
+    delta_bytes = len(json.dumps(delta))
+    full_bytes = len(json.dumps(full_record))
+    assert delta_bytes * 10 < full_bytes  # O(changes), not O(repository)
+
     speedup = timings["full"] / max(timings["dirty_only"], 1e-9)
     record_experiment(ExperimentResult(
         "ablation_segmented_persistence",
@@ -680,7 +821,7 @@ def test_segmented_compaction_is_dirty_only(benchmark, record_experiment):
              "seconds": round(timings["full"], 6),
              "sections_rewritten": _SEGMENTED_SHARDS,
              "speedup": 1.0},
-            {"arm": "dirty-only (v4 segmented RepositoryLog)",
+            {"arm": "dirty-only (v5 order-delta RepositoryLog)",
              "seconds": round(timings["dirty_only"], 6),
              "sections_rewritten": 1,
              "speedup": round(speedup, 1)},

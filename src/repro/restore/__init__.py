@@ -81,6 +81,23 @@ reports what it saw via
 :class:`~repro.restore.persistence.LoaderReport`. See
 ``docs/PERSISTENCE.md`` for the durable format and
 ``docs/ARCHITECTURE.md`` for the design.
+
+The worker-process service (PR 6) promotes each partition to a worker
+**process** behind a routing front-end:
+:class:`~repro.restore.service.ShardWorkerPool` plugs into
+:class:`~repro.restore.sharding.ShardedRepository` as
+``executor="processes"``, buffering inserts/removals per owning worker
+(batched hand-off over ``multiprocessing`` queues) and fanning probes
+out by load-key hash while ``find_equivalent``, ordering, ranking, and
+statistics stay with the coordinator — decisions bit-identical to the
+serial path. A crashed worker is respawned and re-seeded from its
+partition's own section + segment files when a
+:class:`~repro.restore.wal.RepositoryLog` is attached (which the v5
+order-delta manifests keep O(partition)), or from the front-end's
+in-memory members otherwise.
+:class:`~repro.restore.service.RepositoryService` wraps the
+process-backed repository plus optional durability in one
+context-managed standalone lifecycle.
 """
 
 from repro.restore.baseline import LinearScanRepository
@@ -109,6 +126,7 @@ from repro.restore.selector import (
     HeuristicRetentionPolicy,
     KeepEverythingPolicy,
 )
+from repro.restore.service import RepositoryService, ShardWorkerPool
 from repro.restore.sharding import ShardedRepository
 from repro.restore.wal import RepositoryLog
 
@@ -132,9 +150,11 @@ __all__ = [
     "Repository",
     "RepositoryEntry",
     "RepositoryLog",
+    "RepositoryService",
     "ReStore",
     "ReStoreReport",
     "SavingsRanker",
     "ShardedRepository",
+    "ShardWorkerPool",
     "StructuralRanker",
 ]

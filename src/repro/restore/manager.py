@@ -200,6 +200,32 @@ class ReStore(JobControl):
                 self._submits_since_checkpoint = 0
         return result
 
+    def close(self):
+        """Shut the manager down cleanly: flush the attached
+        :class:`~repro.restore.wal.RepositoryLog`'s pending change
+        records to their segments, then release the repository's
+        resources (probe thread pool or shard worker processes).
+
+        Without this, records buffered since the last checkpoint are
+        silently lost on shutdown and a threaded/process executor leaks.
+        Idempotent, and also reachable as a context manager::
+
+            with ReStore(dfs, cost_model, ...) as manager:
+                manager.submit(workflow)
+        """
+        if self.persistence is not None:
+            self.persistence.flush()
+        close = getattr(self.repository, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
     # JobControl hooks ---------------------------------------------------------
 
     def prepare_job(self, job, workflow, result):

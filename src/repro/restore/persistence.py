@@ -44,20 +44,31 @@ File formats (spec in ``docs/ARCHITECTURE.md``):
   :func:`save_snapshot` and fully loadable, but
   :class:`~repro.restore.wal.RepositoryLog` now writes v4.
 
-* **v4 (segmented)** — the incremental format partitioned along the
-  shard layout, written by :class:`~repro.restore.wal.RepositoryLog`.
-  The file at ``path`` holds only the **manifest**: the global scan
-  order (stable key + tie-break sequence per entry, valid at the
-  manifest's ``last_seq``) and one descriptor per partition pointing at
-  that shard's immutable, generation-suffixed snapshot **section file**
-  and its append-only **segment file**, with a per-section ``base_seq``
-  watermark. Each shard appends and compacts independently: a
-  compaction rewrites only the sections of *dirty* shards (new
-  generation files), re-points the manifest, and truncates just those
-  shards' segments — clean sections are reused at the file level. The
-  full spec lives in ``docs/PERSISTENCE.md``.
+* **v4 (segmented, legacy)** — the incremental format partitioned along
+  the shard layout. The file at ``path`` holds only the **manifest**:
+  the global scan order (stable key + tie-break sequence per entry,
+  valid at the manifest's ``last_seq``) and one descriptor per partition
+  pointing at that shard's immutable, generation-suffixed snapshot
+  **section file** and its append-only **segment file**, with a
+  per-section ``base_seq`` watermark. Each shard appends and compacts
+  independently: a compaction rewrites only the sections of *dirty*
+  shards (new generation files), re-points the manifest, and truncates
+  just those shards' segments — clean sections are reused at the file
+  level.
 
-``load_repository`` sniffs the format: a v2/v3/v4 manifest loads into
+* **v5 (order-delta)** — what
+  :class:`~repro.restore.wal.RepositoryLog` writes: v4's sections and
+  segments, but the manifest no longer embeds the full scan order (the
+  one remaining O(repository) write per compaction). Instead it points
+  at an append-only **order log** (``order_log``/``order_gen``): full
+  order records on (re)base, per-compaction **deltas** (keys removed,
+  keys spliced in at recorded positions) otherwise. The loader
+  reconstructs the order by replaying the log up to the manifest's
+  ``order_gen`` — later records are orphans from a crashed compaction
+  and are skipped, counted, and healed on the next attach. The full
+  spec lives in ``docs/PERSISTENCE.md``.
+
+``load_repository`` sniffs the format: a v2-v5 manifest loads into
 a :class:`~repro.restore.sharding.ShardedRepository` of the manifest's
 shard count (a v3/v4 snapshot of an unsharded repository says
 ``num_shards: 0`` and loads into a plain :class:`Repository`), a v1
@@ -267,8 +278,15 @@ MANIFEST_VERSION = 2
 #: written by save_snapshot and fully loadable)
 LOG_MANIFEST_VERSION = 3
 #: the segmented format: per-shard section + segment files coordinated
-#: through the manifest (what RepositoryLog writes)
+#: through the manifest; its manifest embeds the full global scan order
+#: (legacy — still fully loadable)
 SEGMENT_MANIFEST_VERSION = 4
+#: the order-delta format (what RepositoryLog writes): v4's sections and
+#: segments, but the global scan order lives in a sibling append-only
+#: **order log** — full records on (re)base, per-compaction deltas
+#: otherwise — so a dirty-shard compaction writes O(changes), never the
+#: O(repository) full order
+DELTA_MANIFEST_VERSION = 5
 
 #: section/segment file name of the catch-all partition (and of a plain
 #: repository, whose single partition is the catch-all)
@@ -303,6 +321,67 @@ def segment_file_path(log_base, label):
     """The append-only v4 segment file of one partition, derived from
     the manifest's ``log`` base path (default ``<path>.log``)."""
     return f"{log_base}.{label}"
+
+
+def order_log_path(path, generation):
+    """The v5 order-log file: generation-suffixed like section files, so
+    a rebase writes a *new* file and re-points the manifest instead of
+    rewriting the referenced one in place (a crash in between leaves the
+    old manifest's order log intact)."""
+    return f"{path}.order.g{generation}"
+
+
+def order_log_prefix(path):
+    """Every v5 order-log file of ``path`` starts with this prefix —
+    compaction garbage-collects unreferenced generations under it."""
+    return f"{path}.order.g"
+
+
+def encode_order_delta(old_order, new_order):
+    """The v5 order-delta between two recorded scan orders, or None.
+
+    Both orders are ``[[key, sequence], ...]``. The delta says which
+    keys left and where new keys were spliced in
+    (``[key, sequence, position]`` with ``position`` indexing the *new*
+    order, ascending); it is only expressible when the surviving
+    entries kept their relative order and tie-break sequences — the
+    overwhelmingly common case, since scan-order recomputation preserves
+    the relative order of untouched entries. When survivors moved (e.g.
+    a use-stamp re-ranked entries under a non-greedy history) the writer
+    falls back to a full order record, signalled here by None.
+    """
+    new_keys = {key for key, _ in new_order}
+    old_keys = {key for key, _ in old_order}
+    old_survivors = [(key, seq) for key, seq in old_order if key in new_keys]
+    new_survivors = [(key, seq) for key, seq in new_order if key in old_keys]
+    if old_survivors != new_survivors:
+        return None
+    removed = [key for key, _ in old_order if key not in new_keys]
+    inserted = [[key, seq, position]
+                for position, (key, seq) in enumerate(new_order)
+                if key not in old_keys]
+    return {"removed": removed, "inserted": inserted}
+
+
+def apply_order_delta(order, record):
+    """Apply one v5 order-delta record to a reconstructed order.
+
+    Removals first, then splices at their recorded positions in
+    ascending order — each position indexes the final order, and because
+    earlier splices land at strictly smaller positions, inserting
+    sequentially reproduces it exactly.
+    """
+    removed = set(record.get("removed", ()))
+    result = [[key, seq] for key, seq in order if key not in removed]
+    for item in record.get("inserted", ()):
+        key, seq, position = item
+        if not 0 <= position <= len(result):
+            raise RepositoryError(
+                f"corrupt order-delta record: splice position "
+                f"{position} outside the reconstructed order "
+                f"(length {len(result)})")
+        result.insert(position, [key, seq])
+    return result
 
 
 class LoaderReport:
@@ -346,6 +425,19 @@ class LoaderReport:
         self.num_shards = None
         self.section_state = {}        # label -> section descriptor
         self.segment_records = {}      # label -> complete records
+        #: v5 resume state: the order-log file the manifest points at,
+        #: its authoritative generation, the reconstructed recorded
+        #: order at that generation ([[key, seq], ...]), how many
+        #: applicable records the log held (the writer's rebase
+        #: counter), and how many records were *orphaned* — complete
+        #: records above ``order_gen``, left by a compaction that
+        #: crashed before its manifest swap. Orphans are never applied;
+        #: a re-attaching RepositoryLog heals them with a full rebase.
+        self.order_log_path = None
+        self.order_gen = 0
+        self.order_records = 0
+        self.orphan_order_records = 0
+        self.recorded_order = None
         #: (use_count, last_used_tick) per entry at load time — lets a
         #: re-attaching RepositoryLog detect use-stamps applied between
         #: load and attach (which its listener never saw) and heal with
@@ -368,6 +460,7 @@ class LoaderReport:
             "dangling_records": self.dangling_records,
             "torn_tail_dropped": self.torn_tail_dropped,
             "orphaned_log_records": self.orphaned_log_records,
+            "orphan_order_records": self.orphan_order_records,
             "fingerprint_mismatches": self.fingerprint_mismatches,
             "last_seq": self.last_seq,
         }
@@ -430,14 +523,15 @@ def _pointed_log_paths(dfs, path):
     """Durable files a full save at ``path`` supersedes: the
     conventional sibling log, whatever log the v3 manifest being
     overwritten points at (it may be custom), and — for a v4 manifest —
-    every section and segment file it references, plus orphaned section
-    generations under the conventional prefix (crash leftovers)."""
+    every section, segment and order-log file it references, plus
+    orphaned section/order-log generations under the conventional
+    prefixes (crash leftovers)."""
     log_paths = {f"{path}.log"}
     manifest = read_manifest_line(dfs, path)
     if manifest is not None:
-        log_base = manifest.get("log")
-        if isinstance(log_base, str):
-            log_paths.add(log_base)
+        for field in ("log", "order_log"):
+            if isinstance(manifest.get(field), str):
+                log_paths.add(manifest[field])
         for section in manifest.get("sections", ()):
             if not isinstance(section, dict):
                 continue
@@ -445,6 +539,7 @@ def _pointed_log_paths(dfs, path):
                 if isinstance(section.get(field), str):
                     log_paths.add(section[field])
     log_paths.update(dfs.list_files(prefix=section_file_prefix(path)))
+    log_paths.update(dfs.list_files(prefix=order_log_prefix(path)))
     log_paths.discard(path)
     return log_paths
 
@@ -596,7 +691,7 @@ def load_repository(dfs, path=DEFAULT_REPOSITORY_PATH, repository=None):
         elif version == LOG_MANIFEST_VERSION:
             repository = _load_incremental(dfs, first, lines[1:], repository,
                                            report)
-        elif version == SEGMENT_MANIFEST_VERSION:
+        elif version in (SEGMENT_MANIFEST_VERSION, DELTA_MANIFEST_VERSION):
             repository = _load_segmented(dfs, first, lines[1:], repository,
                                          report)
         else:
@@ -765,7 +860,13 @@ def _apply_log_record(record, repository, by_key, report):
             by_key[key] = entry
         report.replayed_records += 1
     elif op == "remove":
-        entry = by_key.pop(record.get("key"), None)
+        if record.get("key") is None:
+            # Legacy '"key": null' remove records (written for entries
+            # that were never keyed, before the writer learned to skip
+            # them) reference nothing durable by construction — they are
+            # no-ops, not dangling anomalies.
+            return
+        entry = by_key.pop(record["key"], None)
         if entry is None:
             # The target is already gone (e.g. a duplicated record, or a
             # remove whose insert never made the log): count, don't die.
@@ -776,7 +877,9 @@ def _apply_log_record(record, repository, by_key, report):
         repository.remove(entry)
         report.replayed_records += 1
     elif op == "use":
-        entry = by_key.get(record.get("key"))
+        if record.get("key") is None:
+            return  # legacy unkeyed use-stamp: a no-op, like the remove
+        entry = by_key.get(record["key"])
         if entry is None:
             report.dangling_records += 1
             return
@@ -802,14 +905,18 @@ def _orphaned_log_lines(dfs, path):
     return sum(dfs.status(file).num_lines for file in sorted(files))
 
 
-# --- The segmented (v4) loader --------------------------------------------------
+# --- The segmented (v4/v5) loader ------------------------------------------------
 
 
 def _load_segmented(dfs, manifest, body, repository, report):
-    """Rebuild a v4 repository from per-shard section + segment files.
+    """Rebuild a v4/v5 repository from per-shard section + segment files.
 
-    Reconstruction runs in two phases around the manifest's recorded
-    scan order (valid at its ``last_seq``):
+    The two formats differ only in where the recorded global scan order
+    lives: embedded in the manifest (v4's ``order``) or reconstructed
+    from the sibling order log (v5's ``order_log``/``order_gen`` — see
+    :func:`_read_order_log` for the replay rule). Reconstruction runs in
+    two phases around that recorded order (valid at the manifest's
+    ``last_seq``):
 
     1. insert every section entry, then replay each segment's records
        with ``base_seq < seq <= last_seq`` merged across segments in
@@ -825,13 +932,13 @@ def _load_segmented(dfs, manifest, body, repository, report):
     a torn final line. Segments can therefore be read in any order — the
     per-record sequence numbers, not file order, define the replay.
     """
-    report.format_version = SEGMENT_MANIFEST_VERSION
+    report.format_version = manifest[MANIFEST_KEY]
     report.log_path = manifest.get("log")
     report.num_shards = manifest.get("num_shards", 0)
     if body:
         raise RepositoryError(
-            f"a v4 manifest file must hold only the manifest line, found "
-            f"{len(body)} extra line(s)")
+            f"a v{report.format_version} manifest file must hold only "
+            f"the manifest line, found {len(body)} extra line(s)")
     if repository is None:
         repository = (ShardedRepository(num_shards=report.num_shards)
                       if report.num_shards >= 1 else Repository())
@@ -897,7 +1004,12 @@ def _load_segmented(dfs, manifest, body, repository, report):
     phase1.sort(key=lambda record: record["seq"])
     for record in phase1:
         _apply_log_record(record, repository, by_key, report)
-    _force_recorded_order(repository, manifest.get("order", ()), by_key,
+    if report.format_version == DELTA_MANIFEST_VERSION:
+        order = _read_order_log(dfs, manifest.get("order_log"),
+                                manifest.get("order_gen", 0), report)
+    else:
+        order = manifest.get("order", ())
+    _force_recorded_order(repository, order, by_key,
                           partial=preexisting > 0)
     # Phase 2: everything appended since the manifest was written.
     phase2.sort(key=lambda record: record["seq"])
@@ -932,6 +1044,69 @@ def _parse_segment(lines, segment, report):
                 f"record at line {index} is not the final line")
         records.append(record)
     return records
+
+
+def _read_order_log(dfs, order_log, order_gen, report):
+    """Reconstruct a v5 manifest's recorded scan order from its order
+    log, applying the replay rule:
+
+    * records are JSONL, each carrying its writing compaction's ``gen``:
+      either a **full** order (``{"gen", "full": [[key, seq], ...]}`` —
+      written on rebase) or a **delta** against the previous record's
+      reconstruction (``{"gen", "removed", "inserted"}``);
+    * a torn final line (a crash mid-append) is dropped, like a torn
+      segment tail;
+    * records with ``gen > order_gen`` are **orphans** — appended by a
+      compaction that crashed before its manifest swap made them
+      authoritative — and are *skipped*, never applied (they describe an
+      order the manifest's sections do not match); the count lands on
+      ``report.orphan_order_records`` so attach() can heal with a
+      rebase;
+    * the reconstruction is the latest applicable full record with every
+      later applicable delta applied in file order.
+    """
+    report.order_log_path = order_log
+    report.order_gen = order_gen
+    lines = (dfs.read_lines(order_log)
+             if order_log is not None and dfs.exists(order_log) else [])
+    records = []
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            record = None
+        if not (isinstance(record, dict)
+                and isinstance(record.get("gen"), int)
+                and ("full" in record or "removed" in record
+                     or "inserted" in record)):
+            if index == last:
+                report.torn_tail_dropped += 1
+                break
+            raise RepositoryError(
+                f"corrupt repository order log {order_log!r}: unreadable "
+                f"record at line {index} is not the final line")
+        records.append(record)
+    applicable = [record for record in records if record["gen"] <= order_gen]
+    report.orphan_order_records = len(records) - len(applicable)
+    report.order_records = len(applicable)
+    base = None
+    for index, record in enumerate(applicable):
+        if "full" in record:
+            base = index
+    if base is None:
+        if applicable:
+            raise RepositoryError(
+                f"corrupt repository order log {order_log!r}: delta "
+                f"record(s) at or below generation {order_gen} with no "
+                f"full base record")
+        report.recorded_order = []
+        return []
+    order = [list(pair) for pair in applicable[base]["full"]]
+    for record in applicable[base + 1:]:
+        order = apply_order_delta(order, record)
+    report.recorded_order = [list(pair) for pair in order]
+    return order
 
 
 def _force_recorded_order(repository, order, by_key, partial=False):

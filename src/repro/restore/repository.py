@@ -187,6 +187,13 @@ class Repository:
                 f"an unsharded repository has no shard {shard_id!r}")
         return tuple(self._entries)
 
+    def close(self):
+        """Release any resources the repository holds. The plain
+        repository holds none; the sharded subclass shuts down its probe
+        executor (thread pool or worker processes) here — having the
+        method on the base class lets :meth:`ReStore.close` treat every
+        repository flavor uniformly."""
+
     def __len__(self):
         return len(self._entries)
 
@@ -224,6 +231,21 @@ class Repository:
         if ranker is None or ranker.is_structural:
             return candidates
         return tuple(ranker.order(candidates, self))
+
+    def match_candidates_batch(self, plans, ranker=None):
+        """Candidate tuples for many plans, positionally aligned with
+        ``plans``. Here simply the per-plan calls; the process-backed
+        sharded repository overrides this to ship the whole batch to
+        each consulted worker in one message."""
+        return [self.match_candidates(plan, ranker=ranker)
+                for plan in plans]
+
+    @property
+    def worker_pool(self):
+        """The worker-process pool routing this repository's probes —
+        None unless this is a :class:`ShardedRepository` built with
+        ``executor="processes"``."""
+        return None
 
     def _filtered_candidates(self, plan):
         """The load-index filter half of :meth:`match_candidates`, in

@@ -1,0 +1,490 @@
+"""The shard-worker service: repository partitions as worker processes.
+
+:class:`~repro.restore.sharding.ShardedRepository` partitioned the probe
+work, but every shard still lives in one interpreter, so match
+throughput caps at the GIL no matter how many shards exist. This module
+promotes each partition — the hash shards *and* the catch-all — to a
+worker **process** that exclusively owns its entries and its
+:class:`~repro.restore.index.LoadIndex`, coordinated by the front-end
+repository over ``multiprocessing`` queues:
+
+* ``find_equivalent`` never leaves the front-end: the canonical
+  fingerprint dict is the global cross-shard dedup channel and stays
+  with the coordinator;
+* inserts and removals are routed by the entry's load-key hash to the
+  owning worker, **batched**: mutations buffer per worker and ship as
+  one ``apply`` message right before the next probe that consults it
+  (queue ordering makes the flush happen-before the probe);
+* ``match_candidates`` fans out by the job's load keys — every consulted
+  worker gets the probe, they filter their slices concurrently (separate
+  processes, no GIL), and the front-end merges the answered entry ids
+  back into the paper's global priority order. Decisions are
+  bit-identical to the serial path by construction: workers only
+  *filter* (the same :class:`LoadIndex` logic over the same entries);
+  ordering, ranking, containment, and statistics stay with the
+  front-end.
+
+Failure model: a worker that dies (crash, kill) is detected at the next
+dispatch or response wait — queues never block indefinitely — and is
+**respawned and re-seeded**. When the repository has an attached
+:class:`~repro.restore.wal.RepositoryLog`, the fresh worker replays the
+dead partition's durable state (its section + segment files plus the
+log's pending records — one partition's files only, which is what the
+per-shard segmentation and the v5 order-delta manifests bought);
+otherwise it re-seeds from the front-end's in-memory members. Either
+way the front-end's scan order, per-shard statistics, and match
+decisions are unaffected — workers hold replicas, the coordinator holds
+the truth.
+
+:class:`ShardWorkerState` is the worker's in-process core, exercised
+directly by unit tests (child processes are invisible to coverage);
+``_worker_main`` is the thin queue loop around it.
+:class:`RepositoryService` is the standalone service mode: a
+process-backed repository plus optional durability behind one
+context-managed lifecycle.
+"""
+
+import multiprocessing
+import queue
+import time
+
+from repro.common.errors import RepositoryError
+from repro.restore.index import LoadIndex
+from repro.restore.persistence import entry_from_json, entry_to_json
+
+
+class WorkerCrashed(RepositoryError):
+    """A shard worker died mid-conversation (internal: the pool catches
+    this and recovers the partition)."""
+
+
+class ShardWorkerState:
+    """The in-process core of one shard worker.
+
+    Holds the partition's skeleton entries keyed by the wire key (the
+    front-end's entry id) plus a private
+    :class:`~repro.restore.index.LoadIndex` over just those entries, and
+    answers probes with the wire keys of the local entries the job's
+    load set cannot rule out — the worker-process analogue of
+    :meth:`RepositoryShard.probe`. Kept free of any multiprocessing so
+    the lock-step tests can drive it directly in-process.
+    """
+
+    def __init__(self):
+        self._entries = {}      # wire key -> skeleton entry, insertion order
+        self._key_of = {}       # local entry_id -> wire key
+        self._load_index = LoadIndex()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def apply(self, mutations):
+        """Apply one batched hand-off: ``("add", key, entry_json)`` and
+        ``("discard", key)`` tuples, in order."""
+        for mutation in mutations:
+            if mutation[0] == "add":
+                _, key, entry_json = mutation
+                entry = entry_from_json(entry_json)
+                self._entries[key] = entry
+                self._key_of[entry.entry_id] = key
+                self._load_index.add(entry)
+            else:
+                entry = self._entries.pop(mutation[1], None)
+                if entry is not None:
+                    del self._key_of[entry.entry_id]
+                    self._load_index.discard(entry)
+
+    def probe(self, job_loads):
+        """Wire keys of the local candidates for a job reading
+        ``job_loads`` (insertion order; the front-end re-sorts the merge
+        into global scan order)."""
+        candidate_ids = self._load_index.candidate_ids(job_loads)
+        if not candidate_ids:
+            return []
+        return [key for key, entry in self._entries.items()
+                if entry.entry_id in candidate_ids]
+
+    def probe_batch(self, probes):
+        """``[(probe_id, keys)]`` for a batch of ``(probe_id,
+        job_loads)`` probes — one message each way per worker, however
+        many probes the batch holds."""
+        return [(probe_id, self.probe(job_loads))
+                for probe_id, job_loads in probes]
+
+
+def _worker_main(requests, responses):
+    """The worker-process loop: drain the request queue into a
+    :class:`ShardWorkerState`. ``apply`` is fire-and-forget (mutations
+    pipeline behind the next probe, which queue ordering sequences);
+    everything else answers on the response queue."""
+    state = ShardWorkerState()
+    while True:
+        message = requests.get()
+        op = message[0]
+        if op == "apply":
+            state.apply(message[1])
+        elif op == "probe":
+            responses.put(state.probe(message[1]))
+        elif op == "probe_batch":
+            responses.put(state.probe_batch(message[1]))
+        elif op == "size":
+            responses.put(len(state))
+        elif op == "stop":
+            responses.put("stopped")
+            return
+
+
+class _WorkerHandle:
+    """One worker process plus its request/response queues."""
+
+    #: overall ceiling on one response wait — a worker that is alive but
+    #: silent this long is treated as crashed and replaced
+    RESPONSE_TIMEOUT = 60.0
+
+    def __init__(self, shard_id, context):
+        self.shard_id = shard_id
+        self.requests = context.Queue()
+        self.responses = context.Queue()
+        self.process = context.Process(
+            target=_worker_main, args=(self.requests, self.responses),
+            daemon=True)
+        self.process.start()
+
+    def alive(self):
+        return self.process.is_alive()
+
+    def send(self, message):
+        if not self.alive():
+            raise WorkerCrashed(
+                f"shard worker {self.shard_id} is dead (exit code "
+                f"{self.process.exitcode})")
+        try:
+            self.requests.put(message)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrashed(
+                f"shard worker {self.shard_id}: {error}") from error
+
+    def receive(self):
+        deadline = time.monotonic() + self.RESPONSE_TIMEOUT
+        while True:
+            try:
+                return self.responses.get(timeout=0.05)
+            except queue.Empty:
+                pass
+            if not self.alive():
+                # The response may still be in flight in the pipe buffer
+                # (written just before the death): one last look.
+                try:
+                    return self.responses.get(timeout=0.2)
+                except queue.Empty:
+                    raise WorkerCrashed(
+                        f"shard worker {self.shard_id} died before "
+                        f"answering (exit code {self.process.exitcode})")
+            if time.monotonic() > deadline:
+                self.kill()
+                raise WorkerCrashed(
+                    f"shard worker {self.shard_id} unresponsive for "
+                    f"{self.RESPONSE_TIMEOUT:.0f}s")
+
+    def stop(self):
+        """Graceful shutdown; falls back to kill."""
+        try:
+            if self.alive():
+                self.requests.put(("stop",))
+                self.process.join(timeout=2.0)
+        except (BrokenPipeError, OSError):
+            pass
+        self.kill()
+
+    def kill(self):
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self.requests.close()
+        self.responses.close()
+
+
+class ShardWorkerPool:
+    """Worker processes behind a routing front-end.
+
+    Plugs into :class:`~repro.restore.sharding.ShardedRepository` as the
+    ``executor="processes"`` flavor. Unlike the map-style executors it
+    does not run closures over in-process shard objects — it *routes*:
+    the repository forwards every insert/removal to the owning worker's
+    buffer (:meth:`record_insert`/:meth:`record_remove`) and probes
+    through :meth:`match_probe`/:meth:`match_probe_batch`, which flush
+    the consulted workers' buffers (batched hand-off), fan the probe
+    out, and gather per-worker candidate ids.
+
+    Workers spawn lazily per partition on first use (``fork`` context,
+    daemon processes) and are respawned on crash — see
+    :meth:`_recover` for the durable-replay re-seed. ``recoveries``
+    counts them.
+    """
+
+    name = "processes"
+    #: marks this executor as a routing pool for the repository (the
+    #: map-style path cannot ship bound shard objects across processes)
+    routes_probes = True
+
+    def __init__(self, max_workers=None):
+        # max_workers is accepted for signature parity with the other
+        # executors; the pool always runs one worker per partition.
+        self._context = multiprocessing.get_context("fork")
+        self._repository = None
+        self._workers = {}    # shard_id -> _WorkerHandle
+        self._buffers = {}    # shard_id -> pending mutation tuples
+        self.recoveries = 0
+        self._closed = False
+
+    # Wiring -----------------------------------------------------------------
+
+    def bind(self, repository):
+        """Bind the front-end repository (called by
+        ``ShardedRepository.__init__``). The pool needs it for recovery
+        re-seeds and wire-key -> entry resolution."""
+        if self._repository is not None and self._repository is not repository:
+            raise RepositoryError(
+                "this ShardWorkerPool is already bound to a different "
+                "repository; each pool serves exactly one front-end")
+        self._repository = repository
+
+    def map(self, fn, items):
+        raise RepositoryError(
+            "ShardWorkerPool routes probes by shard; it cannot run "
+            "arbitrary closures (use executor='serial' or 'threads')")
+
+    # Mutation routing (buffered hand-off) -----------------------------------
+
+    def record_insert(self, shard_id, entry):
+        self._buffers.setdefault(shard_id, []).append(
+            ("add", entry.entry_id, entry_to_json(entry)))
+
+    def record_remove(self, shard_id, entry):
+        self._buffers.setdefault(shard_id, []).append(
+            ("discard", entry.entry_id))
+
+    def buffered_mutations(self):
+        """Mutations recorded but not yet shipped (observability)."""
+        return sum(len(batch) for batch in self._buffers.values())
+
+    # Probe fan-out ----------------------------------------------------------
+
+    def match_probe(self, shard_ids, job_loads):
+        """Fan one probe out to the workers of ``shard_ids``; returns
+        ``{shard_id: [entry ids]}``. Dispatches to every worker before
+        collecting any answer, so the per-worker filters genuinely
+        overlap."""
+        return {
+            shard_id: answer for (shard_id, _), answer in zip(
+                *self._dispatch(shard_ids, lambda _: ("probe", job_loads)))
+        }
+
+    def match_probe_batch(self, probes):
+        """Fan a *batch* of probes out in one message per consulted
+        worker: ``probes`` is ``[(probe_id, shard_ids, job_loads)]``,
+        the result ``{probe_id: {shard_id: [entry ids]}}``. This is the
+        IPC-amortized path the benchmark drives: worker count messages
+        per batch instead of probes x shards."""
+        per_worker = {}
+        for probe_id, shard_ids, job_loads in probes:
+            for shard_id in shard_ids:
+                per_worker.setdefault(shard_id, []).append(
+                    (probe_id, job_loads))
+        shard_ids = sorted(per_worker)
+        dispatched, answers = self._dispatch(
+            shard_ids, lambda shard_id: ("probe_batch",
+                                         per_worker[shard_id]))
+        results = {}
+        for (shard_id, _), answer in zip(dispatched, answers):
+            for probe_id, keys in answer:
+                results.setdefault(probe_id, {})[shard_id] = keys
+        return results
+
+    def _dispatch(self, shard_ids, message_for):
+        """Send ``message_for(shard_id)`` to every listed worker (after
+        flushing its mutation buffer), then gather one response each; a
+        worker that died is recovered and its message retried once on
+        the fresh replica (probes are read-only, so the retry is
+        safe)."""
+        dispatched = []
+        for shard_id in shard_ids:
+            message = message_for(shard_id)
+            try:
+                handle = self._ready_worker(shard_id)
+                handle.send(message)
+            except WorkerCrashed:
+                handle = self._recover(shard_id)
+                handle.send(message)
+            dispatched.append((shard_id, handle))
+        answers = []
+        for shard_id, handle in dispatched:
+            try:
+                answers.append(handle.receive())
+            except WorkerCrashed:
+                fresh = self._recover(shard_id)
+                fresh.send(message_for(shard_id))
+                answers.append(fresh.receive())
+        return dispatched, answers
+
+    def worker_size(self, shard_id):
+        """The entry count a worker's replica holds (test/observability
+        hook; flushes the buffer so the answer reflects every recorded
+        mutation)."""
+        try:
+            handle = self._ready_worker(shard_id)
+            handle.send(("size",))
+            return handle.receive()
+        except WorkerCrashed:
+            handle = self._recover(shard_id)
+            handle.send(("size",))
+            return handle.receive()
+
+    # Worker lifecycle -------------------------------------------------------
+
+    def _ready_worker(self, shard_id):
+        """The live worker for ``shard_id`` with its buffer flushed;
+        raises :class:`WorkerCrashed` if it died (callers recover)."""
+        if self._closed:
+            raise RepositoryError("this ShardWorkerPool is closed")
+        handle = self._workers.get(shard_id)
+        if handle is None:
+            handle = _WorkerHandle(shard_id, self._context)
+            self._workers[shard_id] = handle
+        elif not handle.alive():
+            raise WorkerCrashed(f"shard worker {shard_id} is dead")
+        mutations = self._buffers.get(shard_id)
+        if mutations:
+            handle.send(("apply", mutations))
+            self._buffers[shard_id] = []
+        return handle
+
+    def _recover(self, shard_id):
+        """Respawn a dead worker and re-seed its partition.
+
+        The seed is the partition's durable state when the front-end has
+        an attached RepositoryLog — section + segment + pending records,
+        one partition's files only — with the stable keys translated
+        back to entry ids; without a log (or if the durable view
+        disagrees with the live membership) the front-end's in-memory
+        members. The pool's own buffer for the shard is dropped: the
+        full re-seed already reflects every recorded mutation."""
+        self.recoveries += 1
+        old = self._workers.pop(shard_id, None)
+        if old is not None:
+            old.kill()
+        self._buffers[shard_id] = []
+        handle = _WorkerHandle(shard_id, self._context)
+        self._workers[shard_id] = handle
+        mutations = self._replay_mutations(shard_id)
+        if mutations:
+            handle.send(("apply", mutations))
+        return handle
+
+    def _replay_mutations(self, shard_id):
+        repository = self._repository
+        members = repository.shard_members(shard_id)
+        log = getattr(repository, "persistence_log", None)
+        if log is not None and hasattr(log, "partition_snapshot"):
+            snapshot = log.partition_snapshot(shard_id)
+            by_stable = {key: entry_id
+                         for entry_id, key in log.stable_keys().items()}
+            if (set(snapshot) <= set(by_stable)
+                    and len(snapshot) == len(members)):
+                return [("add", by_stable[key], entry_json)
+                        for key, entry_json in snapshot.items()]
+        return [("add", entry.entry_id, entry_to_json(entry))
+                for entry in members]
+
+    def close(self):
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            handle.stop()
+        self._workers = {}
+        self._buffers = {}
+
+    def describe(self):
+        live = sum(1 for handle in self._workers.values() if handle.alive())
+        return (f"ShardWorkerPool: {live}/{len(self._workers)} worker(s) "
+                f"live, {self.buffered_mutations()} buffered mutation(s), "
+                f"{self.recoveries} recover(ies)")
+
+    def __repr__(self):
+        return f"<{self.describe()}>"
+
+
+class RepositoryService:
+    """The standalone service mode: a process-backed repository behind
+    one context-managed lifecycle.
+
+    Builds a :class:`~repro.restore.sharding.ShardedRepository` with
+    ``executor="processes"`` (or wraps one you built), optionally
+    attaches a :class:`~repro.restore.wal.RepositoryLog` for
+    durability, and exposes the repository surface. :meth:`close`
+    flushes the log and stops the workers — the multi-process analogue
+    of ``ReStore.close()``::
+
+        with RepositoryService(num_shards=8,
+                               persistence=RepositoryLog(dfs)) as service:
+            service.insert(entry)
+            candidates = service.match_candidates(plan)
+    """
+
+    def __init__(self, num_shards=4, repository=None, persistence=None):
+        from repro.restore.sharding import ShardedRepository
+        if repository is None:
+            repository = ShardedRepository(num_shards=num_shards,
+                                           executor="processes")
+        if repository.worker_pool is None:
+            raise RepositoryError(
+                "RepositoryService needs a process-backed repository "
+                "(executor='processes')")
+        self.repository = repository
+        self.persistence = persistence
+        if persistence is not None:
+            persistence.attach(repository)
+        self._closed = False
+
+    @property
+    def pool(self):
+        return self.repository.worker_pool
+
+    def find_equivalent(self, plan):
+        return self.repository.find_equivalent(plan)
+
+    def match_candidates(self, plan, ranker=None):
+        return self.repository.match_candidates(plan, ranker=ranker)
+
+    def match_candidates_batch(self, plans, ranker=None):
+        return self.repository.match_candidates_batch(plans, ranker=ranker)
+
+    def insert(self, entry):
+        return self.repository.insert(entry)
+
+    def remove(self, entry, dfs=None):
+        return self.repository.remove(entry, dfs=dfs)
+
+    def record_use(self, entry, tick):
+        return self.repository.record_use(entry, tick)
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self.persistence is not None:
+            self.persistence.flush()
+        self.repository.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    def describe(self):
+        return (f"RepositoryService[{len(self.repository)} entr(ies)]: "
+                f"{self.pool.describe()}")

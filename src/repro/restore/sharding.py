@@ -107,11 +107,17 @@ def _resolve_executor(executor, max_workers):
         return SerialExecutor()
     if executor == "threads":
         return ThreadPoolProbeExecutor(max_workers)
-    if hasattr(executor, "map"):
+    if executor == "processes":
+        # Imported lazily: the service module imports persistence (for
+        # the entry wire format), which imports this module's shard
+        # constants — resolving at call time breaks the cycle.
+        from repro.restore.service import ShardWorkerPool
+        return ShardWorkerPool(max_workers)
+    if hasattr(executor, "map") or getattr(executor, "routes_probes", False):
         return executor
     raise ValueError(
-        f"executor must be 'serial', 'threads', or an object with a "
-        f".map(fn, items) method, got {executor!r}"
+        f"executor must be 'serial', 'threads', 'processes', or an "
+        f"object with a .map(fn, items) method, got {executor!r}"
     )
 
 
@@ -213,6 +219,14 @@ class ShardedRepository(Repository):
         self._catchall = RepositoryShard(CATCHALL_SHARD)
         self._shard_of = {}           # entry_id -> owning RepositoryShard
         self._executor = _resolve_executor(executor, max_workers)
+        # A routing executor (executor="processes") owns worker-process
+        # replicas of the partitions and answers probes by shard id; the
+        # map-style executors run closures over the in-process shards.
+        self._pool = (self._executor
+                      if getattr(self._executor, "routes_probes", False)
+                      else None)
+        if self._pool is not None:
+            self._pool.bind(self)
         self._logical_probes = 0      # match_candidates calls (fan-outs)
         #: manifest header of the persisted file this repository was
         #: loaded from (set by ``load_repository``), or None.
@@ -326,11 +340,15 @@ class ShardedRepository(Repository):
         shard = self.owning_shard(entry_loads)
         shard.add(entry, entry_loads)
         self._shard_of[entry.entry_id] = shard
+        if self._pool is not None:
+            self._pool.record_insert(shard.shard_id, entry)
 
     def _post_remove(self, entry):
         shard = self._shard_of.pop(entry.entry_id, None)
         if shard is not None:
             shard.discard(entry)
+            if self._pool is not None:
+                self._pool.record_remove(shard.shard_id, entry)
 
     # Matching ---------------------------------------------------------------
 
@@ -352,19 +370,92 @@ class ShardedRepository(Repository):
         job_loads = leaf_loads(plan)
         if job_loads is None:
             return self.scan()
-        shard_ids = {shard_index_for_key(key, self.num_shards)
-                     for key in job_loads}
-        partitions = [self._shards[index] for index in sorted(shard_ids)]
-        if len(self._catchall):
-            partitions.append(self._catchall)
-        if not partitions:
+        shard_ids = self._consulted_shard_ids(job_loads)
+        if not shard_ids:
             return ()
+        if self._pool is not None:
+            return self._merge_pool_answer(
+                self._pool.match_probe(shard_ids, job_loads))
+        partitions = [self._partition_by_id(shard_id)
+                      for shard_id in shard_ids]
         buckets = self._executor.map(lambda shard: shard.probe(job_loads),
                                      partitions)
         rank = self.scan_rank()
         return tuple(sorted(
             (entry for bucket in buckets for entry in bucket),
             key=lambda entry: rank[entry.entry_id]))
+
+    def _consulted_shard_ids(self, job_loads):
+        """The partition ids a probe for ``job_loads`` must consult: the
+        owners of the job's load keys, plus the catch-all when occupied."""
+        shard_ids = sorted({shard_index_for_key(key, self.num_shards)
+                            for key in job_loads})
+        if len(self._catchall):
+            shard_ids.append(CATCHALL_SHARD)
+        return shard_ids
+
+    def _partition_by_id(self, shard_id):
+        return (self._catchall if shard_id == CATCHALL_SHARD
+                else self._shards[shard_id])
+
+    def _merge_pool_answer(self, answers):
+        """Resolve one pool probe's ``{shard_id: [entry ids]}`` answer to
+        entries in global scan order, crediting each consulted
+        partition's statistics exactly as its in-process ``probe`` would
+        have (so shard reports are executor-independent)."""
+        entries = []
+        for shard_id, keys in answers.items():
+            shard = self._partition_by_id(shard_id)
+            shard.stats.probes += 1
+            shard.stats.candidates_returned += len(keys)
+            entries.extend(self._by_id[key] for key in keys)
+        rank = self.scan_rank()
+        return tuple(sorted(entries,
+                            key=lambda entry: rank[entry.entry_id]))
+
+    def match_candidates_batch(self, plans, ranker=None):
+        """Candidate tuples for many plans in one probe round-trip.
+
+        With a worker pool this ships **one** message per consulted
+        worker for the whole batch (the IPC-amortized service path: the
+        workers filter all their probes concurrently, the front-end
+        merges); otherwise it degrades to per-plan
+        :meth:`match_candidates`. Results are positionally aligned with
+        ``plans`` and identical to the per-plan calls, decision for
+        decision.
+        """
+        if self._pool is None:
+            return [self.match_candidates(plan, ranker=ranker)
+                    for plan in plans]
+        probes = []
+        direct = {}   # plan index -> candidates resolved without the pool
+        for index, plan in enumerate(plans):
+            self._logical_probes += 1
+            job_loads = leaf_loads(plan)
+            if job_loads is None:
+                direct[index] = self.scan()
+                continue
+            shard_ids = self._consulted_shard_ids(job_loads)
+            if not shard_ids:
+                direct[index] = ()
+                continue
+            probes.append((index, shard_ids, job_loads))
+        answers = self._pool.match_probe_batch(probes) if probes else {}
+        results = []
+        for index in range(len(plans)):
+            candidates = (direct[index] if index in direct
+                          else self._merge_pool_answer(
+                              answers.get(index, {})))
+            if ranker is not None and not ranker.is_structural:
+                candidates = tuple(ranker.order(candidates, self))
+            results.append(candidates)
+        return results
+
+    @property
+    def worker_pool(self):
+        """The :class:`~repro.restore.service.ShardWorkerPool` routing
+        this repository's probes, or None for the map-style executors."""
+        return self._pool
 
     def describe(self):
         lines = [

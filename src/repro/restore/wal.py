@@ -20,10 +20,13 @@ shard layout**, the steady-state *compaction* cost O(dirty shards):
 * when one shard's segment outgrows its slice of the repository
   (``segment records / shard entries > compact_ratio``), :meth:`compact`
   amortizes it away **for that shard only**: the dirty shard's snapshot
-  *section file* is rewritten (a fresh immutable generation), the v4
-  manifest is re-pointed, and just that shard's segment is truncated.
-  Clean shards' sections are reused at the file level — a mutation burst
-  confined to one of N shards compacts in O(n/N), not O(n).
+  *section file* is rewritten (a fresh immutable generation), an
+  O(changes) **order-delta** record is appended to the v5 order log
+  (never the full global order — that was v4's last cross-shard write),
+  the manifest is re-pointed, and just that shard's segment is
+  truncated. Clean shards' sections are reused at the file level — a
+  mutation burst confined to one of N shards compacts in O(n/N), not
+  O(n).
 
 Crash safety is positional, not transactional, per shard: new section
 files land under *new* names, then the manifest swap makes them
@@ -45,10 +48,12 @@ remove/use records cannot reference them. All records of one entry
 (insert, use-stamps, remove) land in one segment: the owning shard is a
 pure function of the entry's loads, fixed for its lifetime.
 
-Attaching to a repository loaded from a v1/v2/v3 file migrates it: the
-initial full compaction splits the single file into per-shard sections
-and segments losslessly (scan order, statistics, and match decisions are
-bit-identical — the property suite proves it).
+Attaching to a repository loaded from a v1-v4 file migrates it: the
+initial full compaction splits a single-file snapshot into per-shard
+sections and segments (v1-v3), and moves a v4 manifest's embedded scan
+order into the order log — losslessly either way (scan order,
+statistics, and match decisions are bit-identical — the property suite
+proves it).
 """
 
 import json
@@ -56,15 +61,26 @@ import json
 from repro.common.errors import RepositoryError
 from repro.restore.persistence import (
     DEFAULT_REPOSITORY_PATH,
+    DELTA_MANIFEST_VERSION,
+    encode_order_delta,
     entry_to_json,
     MANIFEST_KEY,
+    order_log_path,
+    order_log_prefix,
     read_manifest_line,
     section_file_path,
     section_file_prefix,
-    SEGMENT_MANIFEST_VERSION,
     segment_file_path,
     shard_label,
 )
+
+#: rebase threshold: once this many order records accumulate in the
+#: current order log, the next compaction rewrites it as a single full
+#: record (a fresh generation-named file) instead of appending another
+#: delta — bounding both the file and the reload's replay chain. The
+#: occasional O(repository) rebase write amortizes to O(1) per
+#: compaction.
+ORDER_REBASE_RECORDS = 64
 
 
 class RepositoryLog:
@@ -110,6 +126,12 @@ class RepositoryLog:
         self._pending = {}           # label -> serialized records not on DFS
         self._segment_records = {}   # label -> complete records in its segment
         self._sections = {}          # label -> manifest section descriptor
+        # v5 order-log state: the file the current manifest points at,
+        # the scan order as last made durable there (the delta base),
+        # and how many records the file holds (the rebase trigger).
+        self._order_log = None
+        self._last_recorded_order = None
+        self._order_records = 0
         # Section-file generation counter. Strictly monotonic and
         # *decoupled from the sequence counter*: a healing or repeated
         # compaction can run at an unchanged seq, and naming files by
@@ -125,15 +147,15 @@ class RepositoryLog:
 
         A repository freshly rebuilt by ``load_repository`` from this
         manifest resumes seamlessly: sequence numbers, stable keys,
-        per-segment record counts, and the clean sections' file
-        pointers continue from the loader's replay state. Anything
-        else — a live repository, one loaded from a v1/v2/v3 file, or a
-        reload whose segments had crash damage (torn tails, stale
-        records) — is checkpointed immediately: attach writes a fresh
-        full v4 snapshot (every section) and truncates every segment.
-        That initial compaction is also the v1/v2/v3 → v4 migration
-        path, splitting a single-file snapshot+log into per-shard
-        sections and segments.
+        per-segment record counts, the clean sections' file pointers,
+        and the order log's delta base continue from the loader's
+        replay state. Anything else — a live repository, one loaded
+        from a v1-v4 file, or a reload whose files had crash damage
+        (torn tails, stale records, orphan order records) — is
+        checkpointed immediately: attach writes a fresh full v5
+        snapshot (every section, a rebased order log) and truncates
+        every segment. That initial compaction is also the v1-v4 → v5
+        migration path.
         """
         if self.repository is not None:
             if self.repository is repository:
@@ -193,10 +215,13 @@ class RepositoryLog:
         self._keys = {}
         self._segment_records = {}
         self._sections = {}
+        self._order_log = None
+        self._last_recorded_order = None
+        self._order_records = 0
         report = getattr(repository, "loader_report", None)
         resumable = (
             report is not None
-            and report.format_version == SEGMENT_MANIFEST_VERSION
+            and report.format_version == DELTA_MANIFEST_VERSION
             and report.snapshot_path == self.path
             and report.log_path == self.log_path
             and getattr(report, "dfs", None) is self.dfs
@@ -242,18 +267,36 @@ class RepositoryLog:
         repository.add_listener(self._on_event)
         repository.persistence_log = self
         self._generation = 1 + max(
-            (_section_generation(file) for file in self.dfs.list_files(
-                prefix=section_file_prefix(self.path))), default=-1)
+            (_section_generation(file)
+             for prefix in (section_file_prefix(self.path),
+                            order_log_prefix(self.path))
+             for file in self.dfs.list_files(prefix=prefix)), default=-1)
         clean = (resumable
                  and not unkeyed
                  and not untracked_mutations
                  and report.torn_tail_dropped == 0
                  and report.stale_records == 0
-                 and report.dangling_records == 0)
+                 and report.dangling_records == 0
+                 # Orphan order records (a compaction crashed between
+                 # its order-log append and its manifest swap) sit in
+                 # the file this log would keep appending to; resuming
+                 # over them would interleave live generations with the
+                 # dead one's. Heal with a rebase instead.
+                 and report.orphan_order_records == 0)
         if clean:
             self._segment_records = dict(report.segment_records)
             self._sections = {label: dict(state)
                               for label, state in report.section_state.items()}
+            self._order_log = report.order_log_path
+            self._last_recorded_order = [
+                list(pair) for pair in report.recorded_order or ()]
+            self._order_records = report.order_records
+            # Delta records carry generations above the file's name
+            # (they are appended between rebases): the counter must
+            # clear the manifest's authoritative generation too, or a
+            # fresh compaction could reuse a generation already present
+            # in the order log.
+            self._generation = max(self._generation, report.order_gen + 1)
         else:
             # The healing compaction must not hand out watermarks below
             # sequence numbers already durable at this path: if the
@@ -338,6 +381,15 @@ class RepositoryLog:
             self.flush()
             self.detach()
 
+    def _require_attached(self, operation):
+        """Checkpointing needs the live repository (shard sizes, members,
+        scan order); fail with a clean error instead of the bare
+        AttributeError an unattached ``self.repository`` would raise."""
+        if self.repository is None:
+            raise RepositoryError(
+                f"cannot {operation}(): this RepositoryLog is not "
+                f"attached to a repository (call attach() first)")
+
     # Change events ----------------------------------------------------------
 
     def _assign_key(self, entry):
@@ -347,21 +399,33 @@ class RepositoryLog:
         return key
 
     def _on_event(self, op, entry):
-        self._seq += 1
         shard_id = self.repository.shard_id_of(entry)
-        record = {"seq": self._seq, "op": op, "shard": shard_id}
+        record = {"op": op, "shard": shard_id}
         if op == "insert":
             record["key"] = self._assign_key(entry)
             record["entry"] = entry_to_json(entry)
         elif op == "remove":
-            record["key"] = self._keys.pop(entry.entry_id, None)
+            key = self._keys.pop(entry.entry_id, None)
+            if key is None:
+                # The entry was never keyed, so nothing durable
+                # references it: a '"key": null' remove record would be
+                # pure noise the loader could only drop. Skip it — and
+                # skip *before* taking a sequence number, so the durable
+                # stream has no phantom gap.
+                return
+            record["key"] = key
         elif op == "use":
-            record["key"] = self._keys.get(entry.entry_id)
+            key = self._keys.get(entry.entry_id)
+            if key is None:
+                return  # same: an unkeyed use-stamp references nothing
+            record["key"] = key
             # Absolute values, not increments: replay is idempotent.
             record["use_count"] = entry.stats.use_count
             record["last_used_tick"] = entry.stats.last_used_tick
         else:
             return  # an event this release does not persist
+        self._seq += 1
+        record["seq"] = self._seq
         self._pending.setdefault(shard_label(shard_id), []).append(
             json.dumps(record, sort_keys=True))
 
@@ -389,6 +453,65 @@ class RepositoryLog:
         return {label: count
                 for label, count in sorted(self._segment_records.items())
                 if count}
+
+    def stable_keys(self):
+        """``entry_id -> stable log key`` for every live keyed entry (a
+        copy). The service layer inverts this to translate a replayed
+        partition's durable keys back to the front-end's entry ids."""
+        return dict(self._keys)
+
+    def partition_snapshot(self, shard_id):
+        """One partition's durable-plus-pending state: ``{stable key:
+        entry json}`` after replaying its section entries, its segment
+        records, and this log's still-buffered pending records for the
+        label (stale records at or below the section's ``base_seq``
+        skipped, unparseable lines — a torn tail — dropped).
+
+        Reads only that partition's files — the point of the per-shard
+        section/segment split: a crashed shard *worker* is re-seeded
+        from here without touching any other partition
+        (:class:`~repro.restore.service.ShardWorkerPool` recovery).
+        """
+        self._require_attached("partition_snapshot")
+        label = shard_label(shard_id)
+        state = self._sections.get(label)
+        alive = {}
+        base_seq = 0
+        if state is not None:
+            base_seq = state.get("base_seq", 0)
+            file = state.get("file")
+            if file is not None and self.dfs.exists(file):
+                for line in self.dfs.read_lines(file):
+                    record = json.loads(line)
+                    alive[record["key"]] = record["entry"]
+        segment = self._segment_path(label)
+        lines = self.dfs.read_lines(segment) if self.dfs.exists(segment) else []
+        lines = list(lines) + list(self._pending.get(label, ()))
+        records = []
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and isinstance(record.get("seq"), int):
+                records.append(record)
+        records.sort(key=lambda record: record["seq"])
+        for record in records:
+            if record["seq"] <= base_seq:
+                continue
+            op, key = record.get("op"), record.get("key")
+            if key is None:
+                continue
+            if op == "insert":
+                alive[key] = record["entry"]
+            elif op == "remove":
+                alive.pop(key, None)
+            elif op == "use" and key in alive:
+                stats = alive[key].get("stats")
+                if isinstance(stats, dict):
+                    stats["use_count"] = record["use_count"]
+                    stats["last_used_tick"] = record["last_used_tick"]
+        return alive
 
     def log_ratio(self):
         """(on-DFS + pending) change records per repository entry,
@@ -455,6 +578,7 @@ class RepositoryLog:
         "compacted": bool, "compacted_shards": [labels]}``; ``appended``
         counts every pending record made durable either way.
         """
+        self._require_attached("checkpoint")
         dirty = self.dirty_shards()
         if dirty:
             durable = self.pending_records
@@ -477,17 +601,25 @@ class RepositoryLog:
            generation-suffixed section file — never in place, so a crash
            here leaves the old manifest's files intact (the new ones are
            unreferenced garbage, collected by the next compaction);
-        3. the manifest swap makes the new sections (and the recorded
-           global scan order) authoritative;
-        4. only then are the compacted shards' segments truncated — a
-           crash between 3 and 4 leaves records at or below the new
+        3. the scan-order record lands in the order log — an O(changes)
+           delta appended to the current file for a dirty-only
+           compaction, a full record in a fresh generation-named file on
+           rebase — a crash here leaves an orphan record/file the loader
+           skips;
+        4. the manifest swap makes the new sections (and, via
+           ``order_gen``, the new order record) authoritative;
+        5. only then are the compacted shards' segments truncated — a
+           crash between 4 and 5 leaves records at or below the new
            sections' ``base_seq``, skipped as stale on replay;
-        5. superseded section generations (and a legacy v3 single log)
-           are deleted.
+        6. superseded section and order-log generations (and a legacy v3
+           single log) are deleted.
 
         The cost is O(entries of the compacted shards) serialization
-        plus an O(repository) — but cheap, keys-only — manifest line.
+        plus an O(changes since the last compaction) scan-order record
+        (a delta appended to the v5 order log; full compactions rebase
+        the order log to a single full record).
         """
+        self._require_attached("compact")
         repository = self.repository
         labels = {shard_label(shard_id): shard_id
                   for shard_id in repository.shard_sizes()}
@@ -535,12 +667,38 @@ class RepositoryLog:
                                "segment": self._segment_path(label)}
         order = [[self._keys[entry.entry_id], entry._sequence]
                  for entry in repository.scan()]
-        header = {MANIFEST_KEY: SEGMENT_MANIFEST_VERSION,
+        # The scan-order record: a delta against the last durable order
+        # when only dirty shards compacted (O(changes) appended to the
+        # current order log), a full record in a *fresh* generation-named
+        # file otherwise — full compactions, unexpressible deltas
+        # (survivors moved), and periodic rebases that bound the replay
+        # chain. Appended/written *before* the manifest swap: a crash in
+        # between leaves an orphan record (gen above the manifest's
+        # order_gen) that the loader skips and the next attach heals.
+        delta = None
+        if (set(targets) != set(labels)
+                and self._order_log is not None
+                and self._last_recorded_order is not None
+                and self._order_records < ORDER_REBASE_RECORDS):
+            delta = encode_order_delta(self._last_recorded_order, order)
+        if delta is not None:
+            order_log = self._order_log
+            self.dfs.append_lines(order_log, [json.dumps(
+                {"gen": generation, **delta}, sort_keys=True)])
+            order_records = self._order_records + 1
+        else:
+            order_log = order_log_path(self.path, generation)
+            self.dfs.write_lines(order_log, [json.dumps(
+                {"gen": generation, "full": order}, sort_keys=True)],
+                overwrite=True)
+            order_records = 1
+        header = {MANIFEST_KEY: DELTA_MANIFEST_VERSION,
                   "num_shards": getattr(repository, "num_shards", 0),
                   "entries": len(repository),
                   "last_seq": watermark,
                   "log": self.log_path,
-                  "order": order,
+                  "order_log": order_log,
+                  "order_gen": generation,
                   "sections": [sections[label] for label in sorted(sections)]}
         ranker_name = getattr(self.ranker, "name", self.ranker)
         if ranker_name is not None:
@@ -559,10 +717,16 @@ class RepositoryLog:
             self._pending.pop(label, None)
             self._segment_records[label] = 0
         self._sections = sections
+        self._order_log = order_log
+        self._last_recorded_order = order
+        self._order_records = order_records
         referenced = {state["file"] for state in sections.values()
                       if state["file"] is not None}
         for old in self.dfs.list_files(prefix=section_file_prefix(self.path)):
             if old not in referenced:
+                self.dfs.delete_if_exists(old)
+        for old in self.dfs.list_files(prefix=order_log_prefix(self.path)):
+            if old != order_log:
                 self.dfs.delete_if_exists(old)
         # A legacy single-file v3 log at the base path is fully subsumed
         # by the sections (this is the v3 -> v4 migration tail).

@@ -70,7 +70,7 @@ class TestRepoDocs:
                       "dangling", "walkthrough", "snapshot-before-",
                       "migration"):
             assert topic in text.lower(), topic
-        for version in ("v1", "v2", "v3", "v4"):
+        for version in ("v1", "v2", "v3", "v4", "v5"):
             assert version in text
 
 

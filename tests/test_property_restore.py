@@ -367,6 +367,118 @@ def test_property_repositories_equivalent_to_seed(plan_pool):
                     [e.output_path for e in seed.scan()], (context, name)
 
 
+# --- The worker-process service never changes decisions (PR 6) ----------------
+#
+# The same lock-step discipline, pointed at executor="processes": the
+# process-backed ShardedRepository (2 and 8 shards, each partition a
+# worker process behind the routing front-end) joins serial sharded
+# twins and the frozen seed on randomized insert/remove/use/probe
+# streams. Scan orders, find_equivalent answers, and match decisions —
+# per-plan AND through the batched probe API — must be identical
+# throughout, and the durable state the attached RepositoryLog wrote
+# for a process-backed arm must reload bit-identically.
+
+
+def test_property_worker_processes_equivalent_to_serial(plan_pool):
+    for stream in range(12):
+        rng = random.Random(15000 + stream)
+        dfs = DistributedFileSystem()
+        seed = LinearScanRepository()
+        fleet = [
+            ("serial-2", ShardedRepository(num_shards=2)),
+            ("processes-2", ShardedRepository(num_shards=2,
+                                              executor="processes")),
+            ("serial-8", ShardedRepository(num_shards=8)),
+            ("processes-8", ShardedRepository(num_shards=8,
+                                              executor="processes")),
+        ]
+        # Durability rides on a process-backed arm: its log must write
+        # the same durable state a serial repository's would.
+        log = RepositoryLog(dfs)
+        log.attach(fleet[1][1])
+        twins = {}  # output_path -> [entry per fleet repo..., seed entry]
+        tick = 0
+        try:
+            for step in range(rng.randint(8, 14)):
+                context = f"stream={stream} step={step}"
+                action = rng.random()
+                if action < 0.50 or not twins:
+                    plan = _pool_plan(plan_pool,
+                                      rng.randrange(len(plan_pool)),
+                                      rng.choice([0, 0, 1]))
+                    stats = EntryStats(
+                        input_bytes=rng.choice([1000, 2000, 10000]),
+                        output_bytes=rng.choice([10, 100, 1000]),
+                        producing_job_time=rng.choice([1.0, 5.0, 60.0]),
+                        created_tick=tick,
+                    )
+                    path = f"/stored/p{stream}-{step}"
+                    entries = [RepositoryEntry(plan, path, stats)
+                               for _ in range(len(fleet) + 1)]
+                    for (_, repo), entry in zip(fleet, entries):
+                        repo.insert(entry)
+                    seed.insert(entries[-1])
+                    twins[path] = entries
+                elif action < 0.62:
+                    victim = seed.scan()[rng.randrange(len(seed))]
+                    entries = twins.pop(victim.output_path)
+                    for (_, repo), entry in zip(fleet, entries):
+                        repo.remove(entry)
+                    seed.remove(entries[-1])
+                elif action < 0.72:
+                    tick += 1
+                    victim = seed.scan()[rng.randrange(len(seed))]
+                    for (_, repo), entry in zip(fleet,
+                                                twins[victim.output_path]):
+                        repo.record_use(entry, tick)
+                else:
+                    probes = [_pool_plan(plan_pool,
+                                         rng.randrange(len(plan_pool)),
+                                         rng.choice([0, 0, 1]))
+                              for _ in range(rng.randint(1, 3))]
+                    expected = [_first_match_path(seed.scan(), probe)
+                                for probe in probes]
+                    serial_candidates = None
+                    for name, repo in fleet:
+                        singly = [repo.match_candidates(probe)
+                                  for probe in probes]
+                        # The batched service path answers exactly like
+                        # the per-plan calls, for every fleet member.
+                        batched = repo.match_candidates_batch(probes)
+                        assert [[e.output_path for e in cs] for cs in
+                                batched] \
+                            == [[e.output_path for e in cs] for cs in
+                                singly], (context, name)
+                        firsts = [_first_match_path(cs, probe)
+                                  for cs, probe in zip(singly, probes)]
+                        assert firsts == expected, (context, name)
+                        paths = [[e.output_path for e in cs]
+                                 for cs in singly]
+                        if serial_candidates is None:
+                            serial_candidates = paths
+                        else:
+                            assert paths == serial_candidates, \
+                                (context, name)
+                        for probe in probes:
+                            found = repo.find_equivalent(probe)
+                            seed_found = seed.find_equivalent(probe)
+                            assert (found is None) == (seed_found is None), \
+                                (context, name)
+                            if found is not None:
+                                assert found.output_path \
+                                    == seed_found.output_path, (context, name)
+                for name, repo in fleet:
+                    assert [e.output_path for e in repo.scan()] == \
+                        [e.output_path for e in seed.scan()], (context, name)
+            log.checkpoint()
+            _assert_reload_matches_live(dfs, fleet[1][1], plan_pool, rng,
+                                        f"stream={stream} reload")
+        finally:
+            log.close()
+            for _, repo in fleet:
+                repo.close()
+
+
 # --- Incremental persistence: snapshot+log replay is exact (PR 4) -------------
 #
 # The fifth lock-step family: a repository with an attached RepositoryLog

@@ -22,9 +22,11 @@ from repro.restore import (
 )
 from repro.restore.persistence import (
     CATCHALL_LABEL,
+    DELTA_MANIFEST_VERSION,
     entry_to_json,
     LOG_MANIFEST_VERSION,
     MANIFEST_KEY,
+    order_log_prefix,
     SEGMENT_MANIFEST_VERSION,
     segment_file_path,
     shard_label,
@@ -73,6 +75,31 @@ def segment_lines(dfs, path=SEG):
     records were subsumed by compaction before any flush) reading as
     empty — same as a truncated one."""
     return dfs.read_lines(path) if dfs.exists(path) else []
+
+
+def order_log_of(dfs, path=SNAPSHOT):
+    """``(order_log_path, parsed records)`` of the manifest's v5 order
+    log."""
+    manifest = manifest_of(dfs, path)
+    order_log = manifest["order_log"]
+    return order_log, [json.loads(line) for line in dfs.read_lines(order_log)]
+
+
+def recorded_order_of(dfs, path=SNAPSHOT):
+    """The recorded global scan order reconstructed from the v5 order
+    log (full base + deltas), as the loader would see it."""
+    from repro.restore.persistence import apply_order_delta
+    manifest = manifest_of(dfs, path)
+    _, records = order_log_of(dfs, path)
+    order = []
+    for record in records:
+        if record["gen"] > manifest["order_gen"]:
+            continue
+        if "full" in record:
+            order = [list(pair) for pair in record["full"]]
+        else:
+            order = apply_order_delta(order, record)
+    return order
 
 
 def all_segment_records(dfs, base=LOG_BASE):
@@ -170,22 +197,27 @@ class TestChangeEventChannel:
 
 
 class TestRepositoryLogBasics:
-    def test_attach_writes_initial_v4_manifest(self):
+    def test_attach_writes_initial_v5_manifest(self):
         dfs = DistributedFileSystem()
         repo = Repository()
         repo.insert(fabricated_entry(0))
         log = RepositoryLog(dfs).attach(repo)
         manifest = manifest_of(dfs)
-        assert manifest[MANIFEST_KEY] == SEGMENT_MANIFEST_VERSION
+        assert manifest[MANIFEST_KEY] == DELTA_MANIFEST_VERSION
         assert manifest["log"] == LOG_BASE
         assert manifest["num_shards"] == 0
         assert manifest["entries"] == 1
-        # One catch-all section + segment slot; the manifest records the
-        # global scan order as [key, sequence] pairs.
+        # One catch-all section + segment slot; the global scan order
+        # lives in the order log as [key, sequence] pairs — the v5
+        # manifest no longer embeds it.
         [section] = manifest["sections"]
         assert section["shard"] is None
         assert section["segment"] == SEG
-        assert manifest["order"] == [["k0", 0]]
+        assert "order" not in manifest
+        order_log, records = order_log_of(dfs)
+        assert manifest["order_log"] == order_log
+        assert records == [{"gen": manifest["order_gen"],
+                            "full": [["k0", 0]]}]
         assert log.segment_path(None) == SEG
 
     def test_flush_appends_one_record_per_mutation(self):
@@ -206,6 +238,34 @@ class TestRepositoryLogBasics:
         assert records[1]["key"] == records[2]["key"] == records[0]["key"]
         assert records[1]["use_count"] == 1
         assert records[1]["last_used_tick"] == 1
+
+    def test_unattached_operations_raise_repository_error(self):
+        # Regression: checkpoint()/compact() on a never-attached log
+        # used to die with a bare AttributeError deep in the writer.
+        log = RepositoryLog(DistributedFileSystem())
+        with pytest.raises(RepositoryError, match="not attached"):
+            log.checkpoint()
+        with pytest.raises(RepositoryError, match="not attached"):
+            log.compact()
+        with pytest.raises(RepositoryError, match="not attached"):
+            log.partition_snapshot(None)
+
+    def test_unkeyed_events_write_no_record_and_burn_no_seq(self):
+        dfs = DistributedFileSystem()
+        repo = Repository()
+        log = RepositoryLog(dfs).attach(repo)
+        repo.insert(fabricated_entry(0))
+        # Events for an entry the log never keyed (e.g. raced past a
+        # detach) must not append a useless {"key": null} record — and
+        # must not consume a sequence number either.
+        stranger = fabricated_entry(99)
+        log._on_event("remove", stranger)
+        log._on_event("use", stranger)
+        assert log.pending_records == 1  # just the tracked insert
+        repo.insert(fabricated_entry(1))
+        log.flush()
+        records = [json.loads(line) for line in dfs.read_lines(SEG)]
+        assert [r["seq"] for r in records] == [1, 2]  # no phantom gap
 
     def test_records_routed_to_owning_segments(self):
         dfs = DistributedFileSystem()
@@ -556,6 +616,145 @@ class TestDirtyOnlyCompaction:
         assert on_disk == referenced  # no orphan generations left behind
 
 
+class TestOrderDeltaManifests:
+    """The v5 enabler: dirty-only compaction records a scan-order
+    *delta* in the order log instead of rewriting the full global order
+    — the manifest write cost is O(dirty shards), and the last
+    cross-shard write is gone."""
+
+    def _sharded_state(self, num_entries=24, num_shards=4):
+        dfs = DistributedFileSystem()
+        live = ShardedRepository(num_shards=num_shards)
+        for index in range(num_entries):
+            live.insert(fabricated_entry(index, pool=num_entries // 2))
+        log = RepositoryLog(dfs).attach(live)  # initial full compaction
+        return dfs, live, log
+
+    def test_dirty_compaction_appends_one_delta_record(self):
+        dfs, live, log = self._sharded_state()
+        path_before, records_before = order_log_of(dfs)
+        assert len(records_before) == 1 and "full" in records_before[0]
+        inserted = live.insert(fabricated_entry(100, pool=2))
+        target = live.shard_id_of(inserted)
+        log.compact([shard_label(target)])
+        path_after, records_after = order_log_of(dfs)
+        # Same file, one appended record: the full order (24 entries)
+        # was NOT rewritten — the delta names only the one change.
+        assert path_after == path_before
+        assert len(records_after) == 2
+        delta = records_after[-1]
+        assert "full" not in delta
+        assert delta["removed"] == []
+        new_key = log.stable_keys()[inserted.entry_id]
+        assert [item[0] for item in delta["inserted"]] == [new_key]
+        # The reconstructed lineage equals the live scan order exactly.
+        assert [key for key, _ in recorded_order_of(dfs)] == \
+            [log.stable_keys()[e.entry_id] for e in live.scan()]
+        reloaded = load_repository(dfs)
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+
+    def test_removal_expressed_as_delta(self):
+        dfs, live, log = self._sharded_state()
+        victim = live.scan()[3]
+        victim_key = log.stable_keys()[victim.entry_id]
+        target = live.shard_id_of(victim)
+        live.remove(victim)
+        log.compact([shard_label(target)])
+        _, records = order_log_of(dfs)
+        delta = records[-1]
+        assert delta["removed"] == [victim_key]
+        assert delta["inserted"] == []
+        reloaded = load_repository(dfs)
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+
+    def test_full_compaction_rebases_into_fresh_order_log(self):
+        dfs, live, log = self._sharded_state()
+        path_before, _ = order_log_of(dfs)
+        live.insert(fabricated_entry(101, pool=2))
+        log.compact()  # all partitions: a rebase, not a delta
+        path_after, records = order_log_of(dfs)
+        assert path_after != path_before
+        assert not dfs.exists(path_before)  # superseded file collected
+        assert dfs.list_files(prefix=order_log_prefix(SNAPSHOT)) \
+            == [path_after]
+        assert len(records) == 1 and "full" in records[0]
+        assert len(records[0]["full"]) == len(live)
+
+    def test_rebase_after_record_limit(self, monkeypatch):
+        monkeypatch.setattr("repro.restore.wal.ORDER_REBASE_RECORDS", 2)
+        dfs, live, log = self._sharded_state()
+        paths = []
+        for index in range(4):
+            entry = live.insert(fabricated_entry(200 + index, pool=2))
+            log.compact([shard_label(live.shard_id_of(entry))])
+            paths.append(order_log_of(dfs)[0])
+        # Records 2 and 4 hit the cap and rebased into fresh files; the
+        # lineage never grows unboundedly.
+        assert paths[0] != paths[1]
+        assert paths[1] == paths[2]
+        assert paths[2] != paths[3]
+        _, records = order_log_of(dfs)
+        assert "full" in records[0]
+        assert len(records) <= 2
+        reloaded = load_repository(dfs)
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+
+    def test_orphan_order_records_ignored_and_healed(self):
+        dfs, live, log = self._sharded_state(num_entries=6)
+        order_log, _ = order_log_of(dfs)
+        manifest = manifest_of(dfs)
+        # Crash window: an order record hit the disk but the manifest
+        # swap never happened. Its generation is above the manifest's.
+        dfs.append_lines(order_log, [json.dumps(
+            {"gen": manifest["order_gen"] + 5,
+             "removed": ["k0"], "inserted": []})])
+        reloaded = load_repository(dfs)
+        assert reloaded.loader_report.orphan_order_records == 1
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+        # Attach treats the orphan as crash damage: the healing
+        # compaction rebases into a clean lineage.
+        healed_log = RepositoryLog(dfs).attach(reloaded)
+        _, records = order_log_of(dfs)
+        assert len(records) == 1 and "full" in records[0]
+        assert load_repository(dfs).loader_report.orphan_order_records == 0
+        healed_log.close()
+
+    def test_torn_order_log_tail_dropped(self):
+        dfs, live, log = self._sharded_state(num_entries=6)
+        order_log, _ = order_log_of(dfs)
+        dfs.append_lines(order_log, ['{"gen": 99, "remo'])  # torn write
+        reloaded = load_repository(dfs)
+        assert reloaded.loader_report.torn_tail_dropped >= 1
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+
+    def test_v4_manifest_with_embedded_order_migrates_to_v5(self):
+        # Downgrade a live v5 state to the v4 shape by hand: embed the
+        # full order in the manifest, drop the order log. Loading must
+        # accept it; attaching must migrate it to v5 losslessly.
+        dfs, live, log = self._sharded_state(num_entries=8)
+        manifest = manifest_of(dfs)
+        order = recorded_order_of(dfs)
+        for old in dfs.list_files(prefix=order_log_prefix(SNAPSHOT)):
+            dfs.delete_if_exists(old)
+        manifest.pop("order_log")
+        manifest.pop("order_gen")
+        manifest["order"] = order
+        manifest[MANIFEST_KEY] = SEGMENT_MANIFEST_VERSION
+        dfs.write_lines(SNAPSHOT, [json.dumps(manifest, sort_keys=True)],
+                        overwrite=True)
+        reloaded = load_repository(dfs)
+        assert reloaded.loader_report.format_version \
+            == SEGMENT_MANIFEST_VERSION
+        assert entry_fingerprints(reloaded) == entry_fingerprints(live)
+        # v4 is legacy, not resumable: attach heals it into v5.
+        migrated_log = RepositoryLog(dfs).attach(reloaded)
+        assert manifest_of(dfs)[MANIFEST_KEY] == DELTA_MANIFEST_VERSION
+        again = load_repository(dfs)
+        assert again.loader_report.format_version == DELTA_MANIFEST_VERSION
+        assert entry_fingerprints(again) == entry_fingerprints(live)
+        migrated_log.close()
+
+
 class TestReplay:
     def _mutate(self, repo, log):
         entries = [repo.insert(fabricated_entry(i)) for i in range(6)]
@@ -564,6 +763,27 @@ class TestReplay:
         repo.record_use(entries[2], tick=9)
         log.flush()
         return entries
+
+    def test_legacy_null_key_records_are_noops_not_dangling(self):
+        # A pre-fix writer could leave {"key": null} remove/use records
+        # in a segment. The loader must treat them as no-ops referencing
+        # nothing durable — not count them as dangling removes.
+        dfs = DistributedFileSystem()
+        repo = Repository()
+        log = RepositoryLog(dfs).attach(repo)
+        for index in range(3):
+            repo.insert(fabricated_entry(index))
+        log.flush()
+        dfs.append_lines(SEG, [
+            json.dumps({"op": "remove", "shard": None, "seq": 90,
+                        "key": None}),
+            json.dumps({"op": "use", "shard": None, "seq": 91, "key": None,
+                        "use_count": 3, "last_used_tick": 7}),
+        ])
+        reloaded = load_repository(dfs)
+        assert len(reloaded) == 3
+        assert reloaded.loader_report.dangling_records == 0
+        assert entry_fingerprints(reloaded) == entry_fingerprints(repo)
 
     @pytest.mark.parametrize("make_repo", [
         Repository, lambda: ShardedRepository(num_shards=4)])
@@ -576,7 +796,7 @@ class TestReplay:
         assert type(reloaded) is type(live)
         assert entry_fingerprints(reloaded) == entry_fingerprints(live)
         report = reloaded.loader_report
-        assert report.format_version == SEGMENT_MANIFEST_VERSION
+        assert report.format_version == DELTA_MANIFEST_VERSION
         assert report.replayed_records == report.log_records == 9
         assert report.torn_tail_dropped == 0
 
@@ -851,15 +1071,17 @@ class TestReplay:
         with pytest.raises(RepositoryError, match="truncated"):
             load_repository(dfs)
 
-    def test_manifest_order_referencing_unknown_key_rejected(self):
+    def test_recorded_order_referencing_unknown_key_rejected(self):
         dfs = DistributedFileSystem()
         live = Repository()
         log = RepositoryLog(dfs).attach(live)
         live.insert(fabricated_entry(0))
         log.compact()
         manifest = manifest_of(dfs)
-        manifest["order"] = [["k999", 0]]
-        dfs.write_lines(SNAPSHOT, [json.dumps(manifest)], overwrite=True)
+        order_log = manifest["order_log"]
+        dfs.write_lines(order_log, [json.dumps(
+            {"gen": manifest["order_gen"], "full": [["k999", 0]]})],
+            overwrite=True)
         with pytest.raises(RepositoryError, match="scan order references"):
             load_repository(dfs)
 
@@ -989,22 +1211,22 @@ class TestMigration:
             repo.insert(fabricated_entry(index))
         return repo
 
-    def test_v1_to_v4_migration(self):
+    def test_v1_to_v5_migration(self):
         dfs = DistributedFileSystem()
         plain = self._entries(Repository())
         save_repository(plain, dfs, SNAPSHOT)  # v1: no manifest line
         reloaded = load_repository(dfs)
         assert reloaded.loader_report.format_version == 1
         RepositoryLog(dfs).attach(reloaded)
-        # Attach upgraded the file to a v4 manifest + sections.
+        # Attach upgraded the file to a v5 manifest + sections.
         manifest = manifest_of(dfs)
-        assert manifest[MANIFEST_KEY] == SEGMENT_MANIFEST_VERSION
+        assert manifest[MANIFEST_KEY] == DELTA_MANIFEST_VERSION
         assert manifest["num_shards"] == 0
         migrated = load_repository(dfs)
         assert type(migrated) is Repository
         assert entry_fingerprints(migrated) == entry_fingerprints(plain)
 
-    def test_v2_to_v4_migration(self):
+    def test_v2_to_v5_migration(self):
         dfs = DistributedFileSystem()
         sharded = self._entries(ShardedRepository(num_shards=4))
         save_repository(sharded, dfs, SNAPSHOT)  # v2 manifest
@@ -1012,7 +1234,7 @@ class TestMigration:
         assert reloaded.loader_report.format_version == 2
         log = RepositoryLog(dfs).attach(reloaded)
         manifest = manifest_of(dfs)
-        assert manifest[MANIFEST_KEY] == SEGMENT_MANIFEST_VERSION
+        assert manifest[MANIFEST_KEY] == DELTA_MANIFEST_VERSION
         assert manifest["num_shards"] == 4
         # Mutations after the migration land in the segments and replay.
         reloaded.insert(fabricated_entry(30))
@@ -1072,11 +1294,11 @@ class TestMigration:
         log = RepositoryLog(dfs).attach(reloaded)  # migrates on attach
         assert not dfs.exists(LOG_BASE)  # the single v3 log is subsumed
         manifest = manifest_of(dfs)
-        assert manifest[MANIFEST_KEY] == SEGMENT_MANIFEST_VERSION
+        assert manifest[MANIFEST_KEY] == DELTA_MANIFEST_VERSION
         assert manifest["num_shards"] == 4
         migrated = load_repository(dfs)
         assert migrated.loader_report.format_version == \
-            SEGMENT_MANIFEST_VERSION
+            DELTA_MANIFEST_VERSION
         assert entry_fingerprints(migrated) == entry_fingerprints(twin)
         assert [[e.output_path for e in shard]
                 for shard in migrated.partitions()] == \
@@ -1202,6 +1424,41 @@ class TestManagerIntegration:
         reloaded = load_repository(system.dfs)
         assert entry_fingerprints(reloaded) == \
             entry_fingerprints(restore.repository)
+
+    def test_manager_close_flushes_pending_records(self):
+        # Regression: records buffered between the checkpoint cadence
+        # used to be lost when the manager was simply dropped.
+        system = pigmix_system()
+        log = RepositoryLog(system.dfs, compact_ratio=100.0)
+        restore = system.restore(persistence=log, checkpoint_every=1000)
+        restore.submit(system.compile(Q1_TEXT))
+        assert log.pending_records >= 1  # cadence never fired
+        restore.close()
+        assert log.pending_records == 0
+        reloaded = load_repository(system.dfs)
+        assert entry_fingerprints(reloaded) == \
+            entry_fingerprints(restore.repository)
+        restore.close()  # idempotent
+
+    def test_manager_is_a_context_manager(self):
+        system = pigmix_system()
+        log = RepositoryLog(system.dfs, compact_ratio=100.0)
+        with system.restore(persistence=log,
+                            checkpoint_every=1000) as restore:
+            restore.submit(system.compile(Q1_TEXT))
+            assert log.pending_records >= 1
+        assert log.pending_records == 0
+        assert entry_fingerprints(load_repository(system.dfs)) == \
+            entry_fingerprints(restore.repository)
+
+    def test_manager_close_releases_repository_executor(self):
+        system = pigmix_system()
+        repository = ShardedRepository(num_shards=4, executor="threads")
+        restore = system.restore(repository=repository)
+        restore.submit(system.compile(Q1_TEXT))
+        restore.submit(system.compile(Q2_TEXT))
+        restore.close()
+        assert repository._executor._pool is None  # thread pool shut down
 
     def test_checkpoint_every_knob(self):
         system = pigmix_system()
