@@ -98,6 +98,22 @@ in-memory members otherwise.
 :class:`~repro.restore.service.RepositoryService` wraps the
 process-backed repository plus optional durability in one
 context-managed standalone lifecycle.
+
+In-memory replication (PR 7) removes the durable replay from the common
+crash path and multiplies read throughput for hot shards:
+:class:`~repro.restore.replication.ReplicatedWorkerPool` keeps ``k ≥ 2``
+bit-identical worker replicas per partition, fed by the same per-shard
+mutation stream. A probe is answered by one replica, chosen round-robin
+(batches are split *across* the set, so a hot shard's probes filter
+concurrently); a crashed replica fails over warm — a surviving peer is
+promoted in place, no segment replay — with the replacement backfilled
+in the background from the durable partition snapshot; only a
+whole-set loss falls back to the PR 6 cold re-seed. Enabled by
+``ShardedRepository(executor="processes", replicas=k)`` and
+``RepositoryService(replicas=k)``; the per-shard
+:class:`~repro.restore.stats.ShardStats` grow ``failovers`` and
+``replica_fanout`` counters, and ``tests/faultinject.py`` gives the
+test suite deterministic, seed-reproducible mid-stream kills.
 """
 
 from repro.restore.baseline import LinearScanRepository
@@ -121,6 +137,7 @@ from repro.restore.ranking import (
     SavingsRanker,
     StructuralRanker,
 )
+from repro.restore.replication import ReplicatedWorkerPool
 from repro.restore.repository import Repository, RepositoryEntry
 from repro.restore.selector import (
     HeuristicRetentionPolicy,
@@ -145,6 +162,7 @@ __all__ = [
     "NoHeuristic",
     "pairwise_plan_traversal",
     "plan_fingerprint",
+    "ReplicatedWorkerPool",
     "save_repository",
     "save_snapshot",
     "Repository",

@@ -1,0 +1,332 @@
+"""In-memory shard replication: warm failover and read fan-out.
+
+:class:`~repro.restore.service.ShardWorkerPool` (PR 6) runs one worker
+process per partition. That bounds two things badly:
+
+* **recovery latency** — a crashed worker is re-seeded from the durable
+  partition snapshot (or the front-end's members), so recovery waits on
+  a disk replay exactly when the shard is hottest;
+* **read throughput** — every probe for a hot shard lands on the same
+  single process, whatever the core count.
+
+:class:`ReplicatedWorkerPool` fixes both by keeping ``k >= 2`` peer
+worker processes per partition, each holding a bit-identical
+:class:`~repro.restore.service.ShardWorkerState` replica:
+
+* the shard's mutation stream — the same per-shard buffers the base
+  pool fills from the repository's change events — is **flushed to
+  every replica**, so the replicas stay bit-identical to the primary by
+  construction (same ``apply`` batches, same order);
+* a probe is answered by **one** replica, chosen round-robin, so a hot
+  shard's read load spreads across its replica set; the batched probe
+  path goes further and splits a shard's probe batch *across* the
+  replicas, which filter their chunks concurrently;
+* when the chosen replica turns out dead (the liveness/timeout path in
+  ``_WorkerHandle``), the pool **fails over warm**: a surviving peer is
+  promoted in place and answers the retried probe — no durable replay,
+  no respawn on the failover path. The dead slot is noted and a
+  replacement replica is **backfilled in the background** (on the next
+  pool entry for that shard, after the mutation buffer has been
+  flushed, so the seed — the durable partition snapshot when a
+  :class:`~repro.restore.wal.RepositoryLog` is attached, the front-end
+  members otherwise — equals the survivors' state exactly);
+* only when **every** replica of a shard is gone does the pool fall
+  back to the base pool's cold path: respawn the whole set and re-seed
+  it from the durable partition snapshot (``recoveries`` counts these,
+  exactly as in the base pool; ``failovers`` counts warm promotions).
+
+The correctness contract is the repo's usual one, extended to a
+concurrent, fault-injected setting: every replica's canonical state
+image (:meth:`replica_states`) is identical across the set under
+randomized mutation streams *including mid-stream kills*, and the
+merged candidate sequences the front-end produces are bit-identical to
+the serial executor's throughout — the property suite drives both with
+``tests/faultinject.FaultSchedule``.
+
+Enable it with ``ShardedRepository(executor="processes", replicas=k)``
+or ``RepositoryService(replicas=k)``; the per-shard
+:class:`~repro.restore.stats.ShardStats` grow ``failovers`` and
+``replica_fanout`` counters so the promotion and fan-out activity is
+visible in ``shard_report()``.
+"""
+
+from repro.common.errors import RepositoryError
+from repro.restore.service import ShardWorkerPool, WorkerCrashed
+
+
+class ReplicatedWorkerPool(ShardWorkerPool):
+    """A :class:`ShardWorkerPool` holding ``k >= 2`` replicas per shard.
+
+    Drop-in for the base pool everywhere the repository front-end is
+    concerned: same ``bind``/``record_*``/``match_probe*`` surface, same
+    buffered hand-off, same bit-identical merged candidates. What
+    changes is the worker lifecycle behind those calls — replica sets
+    instead of single workers, warm promotion instead of respawn-and-
+    replay on the common crash path.
+    """
+
+    name = "replicated-processes"
+
+    def __init__(self, max_workers=None, replicas=2, response_timeout=None):
+        if replicas < 2:
+            raise ValueError(
+                f"ReplicatedWorkerPool needs replicas >= 2 (use "
+                f"executor='processes' without replicas for a single "
+                f"worker per shard), got {replicas}")
+        super().__init__(max_workers, response_timeout=response_timeout)
+        self.replicas = replicas
+        self._replica_sets = {}   # shard_id -> [live _WorkerHandle, ...]
+        self._cursors = {}        # shard_id -> round-robin probe pointer
+        self._spawn_seq = {}      # shard_id -> last replica_seq handed out
+        #: shards that lost a replica and owe a background backfill;
+        #: executed on the *next* pool entry for the shard — never on
+        #: the failover path itself, which must not touch durable state
+        self._backfill_due = set()
+        self.failovers = 0        # warm promotions (dead replica, live peer)
+        self.backfills = 0        # replacement replicas seeded
+
+    # Replica lifecycle ------------------------------------------------------
+
+    def _spawn(self, shard_id):
+        handle = super()._spawn(shard_id)
+        seq = self._spawn_seq.get(shard_id, -1) + 1
+        self._spawn_seq[shard_id] = seq
+        handle.replica_seq = seq
+        return handle
+
+    def _shard_stats(self, shard_id):
+        """The front-end's ShardStats for ``shard_id`` (None when the
+        repository does not expose per-shard stats)."""
+        stats_of = getattr(self._repository, "shard_stats", None)
+        return stats_of(shard_id) if callable(stats_of) else None
+
+    def _note_failovers(self, shard_id, count):
+        """Bookkeeping for ``count`` warm promotions on ``shard_id``:
+        surviving peers keep answering, replacements are owed."""
+        self.failovers += count
+        stats = self._shard_stats(shard_id)
+        if stats is not None:
+            stats.failovers += count
+        self._backfill_due.add(shard_id)
+
+    def _prune_dead(self, shard_id):
+        """Drop dead replicas from the set. With survivors this *is*
+        the warm failover — the promoted peers already hold the full
+        mutation stream; with none it degrades to the cold rebuild."""
+        replicas = self._replica_sets[shard_id]
+        live = [handle for handle in replicas if handle.alive()]
+        dead = [handle for handle in replicas if not handle.alive()]
+        if not dead:
+            return
+        for handle in dead:
+            handle.kill()   # reap + close the orphaned queues
+        if not live:
+            self._cold_rebuild(shard_id)
+            return
+        self._replica_sets[shard_id] = live
+        self._note_failovers(shard_id, len(dead))
+
+    def _cold_rebuild(self, shard_id):
+        """Every replica of ``shard_id`` is gone: the base pool's cold
+        fallback, k-wide — respawn the whole set and re-seed each
+        replica from the durable partition snapshot (or the front-end
+        members). The shard's buffer is dropped: the full re-seed
+        already reflects every recorded mutation."""
+        self.recoveries += 1
+        for handle in self._replica_sets.get(shard_id, ()):
+            handle.kill()
+        self._buffers[shard_id] = []
+        self._backfill_due.discard(shard_id)
+        self._cursors[shard_id] = 0
+        replicas = [self._spawn(shard_id) for _ in range(self.replicas)]
+        self._replica_sets[shard_id] = replicas
+        mutations = self._replay_mutations(shard_id)
+        if mutations:
+            for handle in replicas:
+                handle.send(("apply", mutations))
+        return replicas
+
+    def _backfill(self, shard_id):
+        """Seed replacement replicas up to ``k``. Runs only after the
+        shard's buffer has been flushed to the survivors, so the replay
+        seed equals their state — the replacement joins bit-identical."""
+        self._backfill_due.discard(shard_id)
+        replicas = self._replica_sets[shard_id]
+        missing = self.replicas - len(replicas)
+        if missing <= 0:
+            return
+        mutations = self._replay_mutations(shard_id)
+        for _ in range(missing):
+            handle = self._spawn(shard_id)
+            replicas.append(handle)
+            if mutations:
+                handle.send(("apply", mutations))
+            self.backfills += 1
+
+    def _flush_to_replicas(self, shard_id):
+        """Ship the shard's buffered mutations to every live replica —
+        the one write amplification replication costs. A replica that
+        died unnoticed is pruned here (its peers got the batch)."""
+        mutations = self._buffers.get(shard_id)
+        if not mutations:
+            return
+        survivors = []
+        casualties = 0
+        for handle in self._replica_sets[shard_id]:
+            try:
+                handle.send(("apply", mutations))
+                survivors.append(handle)
+            except WorkerCrashed:
+                handle.kill()
+                casualties += 1
+        if not survivors:
+            self._cold_rebuild(shard_id)
+            return
+        if casualties:
+            self._replica_sets[shard_id] = survivors
+            self._note_failovers(shard_id, casualties)
+        self._buffers[shard_id] = []
+
+    def _ready_replicas(self, shard_id):
+        """The shard's live replica set, buffers flushed and any *owed*
+        backfill executed. A crash detected during this very call only
+        schedules its backfill — the failover path stays free of
+        durable reads; the replacement is seeded on the next entry."""
+        if self._closed:
+            raise RepositoryError("this ReplicatedWorkerPool is closed")
+        backfill_owed = shard_id in self._backfill_due
+        if shard_id not in self._replica_sets:
+            self._replica_sets[shard_id] = [
+                self._spawn(shard_id) for _ in range(self.replicas)]
+        else:
+            self._prune_dead(shard_id)
+        self._flush_to_replicas(shard_id)
+        if backfill_owed and shard_id in self._backfill_due:
+            self._backfill(shard_id)
+        return self._replica_sets[shard_id]
+
+    def _next_replica(self, shard_id, replicas):
+        """Round-robin read fan-out: rotate the shard's probe cursor
+        across its replica set, crediting non-primary consultations to
+        the front-end's ``replica_fanout`` counter."""
+        cursor = self._cursors.get(shard_id, 0) % len(replicas)
+        self._cursors[shard_id] = (cursor + 1) % len(replicas)
+        if cursor:
+            stats = self._shard_stats(shard_id)
+            if stats is not None:
+                stats.replica_fanout += 1
+        return replicas[cursor]
+
+    # Base-pool integration points -------------------------------------------
+
+    def _ready_worker(self, shard_id):
+        return self._next_replica(shard_id, self._ready_replicas(shard_id))
+
+    def _recover(self, shard_id):
+        """A dispatched replica died mid-conversation: promote a
+        surviving peer in place (it holds the identical state and every
+        flushed mutation — probes are read-only, so the retry is safe)
+        and hand it back. No respawn, no durable replay: that is the
+        point of keeping warm replicas. Only an empty set falls through
+        to :meth:`_cold_rebuild` (via ``_prune_dead``)."""
+        self._prune_dead(shard_id)
+        return self._next_replica(shard_id, self._replica_sets[shard_id])
+
+    def worker_size(self, shard_id):
+        """Entry count held by the shard's primary replica (every peer
+        answers identically; asking one keeps the fan-out counters a
+        pure probe metric)."""
+        try:
+            handle = self._ready_replicas(shard_id)[0]
+            handle.send(("size",))
+            return handle.receive()
+        except WorkerCrashed:
+            self._prune_dead(shard_id)
+            handle = self._ready_replicas(shard_id)[0]
+            handle.send(("size",))
+            return handle.receive()
+
+    def replica_states(self, shard_id):
+        """Every replica's canonical state image (sorted ``(key, entry
+        json)`` pairs) — the bit-identity witness the property suite
+        asserts on. Flushes first, so the images reflect every recorded
+        mutation."""
+        replicas = self._ready_replicas(shard_id)
+        for handle in replicas:
+            handle.send(("dump",))
+        return [handle.receive() for handle in replicas]
+
+    def replica_count(self, shard_id):
+        """Live replicas currently serving ``shard_id`` (0 before first
+        use; dips below ``k`` between a crash and its backfill)."""
+        return len(self._replica_sets.get(shard_id, ()))
+
+    # Probe fan-out ----------------------------------------------------------
+
+    def match_probe_batch(self, probes):
+        """The batched probe path, split across replicas: each consulted
+        shard's probe list is dealt round-robin into one chunk per live
+        replica, the chunks dispatched before any answer is collected —
+        a hot shard's batch is filtered by its whole replica set
+        concurrently instead of queueing on one process. Answers carry
+        their probe ids, so collection order (and crash-retry
+        duplication on a promoted peer) cannot misfile a result."""
+        per_shard = {}
+        for probe_id, shard_ids, job_loads in probes:
+            for shard_id in shard_ids:
+                per_shard.setdefault(shard_id, []).append(
+                    (probe_id, job_loads))
+        dispatched = []
+        for shard_id in sorted(per_shard):
+            shard_probes = per_shard[shard_id]
+            replicas = self._ready_replicas(shard_id)
+            fan = min(len(replicas), len(shard_probes))
+            for offset in range(fan):
+                chunk = shard_probes[offset::fan]
+                if offset:
+                    stats = self._shard_stats(shard_id)
+                    if stats is not None:
+                        stats.replica_fanout += 1
+                handle = replicas[offset]
+                try:
+                    handle.send(("probe_batch", chunk))
+                except WorkerCrashed:
+                    handle = self._recover(shard_id)
+                    handle.send(("probe_batch", chunk))
+                dispatched.append((shard_id, handle, chunk))
+        results = {}
+        for shard_id, handle, chunk in dispatched:
+            try:
+                answer = handle.receive()
+            except WorkerCrashed:
+                fresh = self._recover(shard_id)
+                fresh.send(("probe_batch", chunk))
+                answer = fresh.receive()
+            for probe_id, keys in answer:
+                results.setdefault(probe_id, {})[shard_id] = keys
+        return results
+
+    # Lifecycle --------------------------------------------------------------
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for replicas in self._replica_sets.values():
+            for handle in replicas:
+                handle.stop()
+        self._replica_sets = {}
+        self._buffers = {}
+        self._backfill_due = set()
+
+    def describe(self):
+        live = sum(1 for replicas in self._replica_sets.values()
+                   for handle in replicas if handle.alive())
+        total = sum(len(replicas)
+                    for replicas in self._replica_sets.values())
+        return (f"ReplicatedWorkerPool[k={self.replicas}]: {live}/{total} "
+                f"replica worker(s) live across {len(self._replica_sets)} "
+                f"shard(s), {self.buffered_mutations()} buffered "
+                f"mutation(s), {self.failovers} failover(s), "
+                f"{self.backfills} backfill(s), {self.recoveries} cold "
+                f"recover(ies)")

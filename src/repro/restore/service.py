@@ -42,6 +42,15 @@ directly by unit tests (child processes are invisible to coverage);
 :class:`RepositoryService` is the standalone service mode: a
 process-backed repository plus optional durability behind one
 context-managed lifecycle.
+
+:mod:`repro.restore.replication` builds on this module: its
+:class:`~repro.restore.replication.ReplicatedWorkerPool` keeps ``k``
+bit-identical worker replicas per partition so a crashed primary fails
+over to a warm peer (no durable replay on that path) and read-only
+probes fan out round-robin across the replica set. Pass ``replicas=k``
+to :class:`RepositoryService` (or to
+:class:`~repro.restore.sharding.ShardedRepository` with
+``executor="processes"``) to enable it.
 """
 
 import multiprocessing
@@ -79,8 +88,15 @@ class ShardWorkerState:
         return len(self._entries)
 
     def apply(self, mutations):
-        """Apply one batched hand-off: ``("add", key, entry_json)`` and
-        ``("discard", key)`` tuples, in order."""
+        """Apply one batched hand-off: ``("add", key, entry_json)``,
+        ``("discard", key)``, and ``("use", key, use_count,
+        last_used_tick)`` tuples, in order.
+
+        Use-stamps carry the stamped *values* (not an increment),
+        mirroring the durable log's use records — so a replica fed the
+        mutation stream holds exactly the stats a replica re-seeded
+        from the log (or from the front-end members) would, which is
+        what makes replica state images bit-comparable."""
         for mutation in mutations:
             if mutation[0] == "add":
                 _, key, entry_json = mutation
@@ -88,6 +104,11 @@ class ShardWorkerState:
                 self._entries[key] = entry
                 self._key_of[entry.entry_id] = key
                 self._load_index.add(entry)
+            elif mutation[0] == "use":
+                entry = self._entries.get(mutation[1])
+                if entry is not None:
+                    entry.stats.use_count = mutation[2]
+                    entry.stats.last_used_tick = mutation[3]
             else:
                 entry = self._entries.pop(mutation[1], None)
                 if entry is not None:
@@ -111,6 +132,16 @@ class ShardWorkerState:
         return [(probe_id, self.probe(job_loads))
                 for probe_id, job_loads in probes]
 
+    def dump(self):
+        """Canonical state image, ``(wire key, entry json)`` sorted by
+        key. Replica-equivalence checks compare these: a replica fed the
+        mutation stream and one backfilled from a snapshot legitimately
+        differ in dict insertion order (probes are re-sorted by the
+        front-end anyway), so the sorted image is what "bit-identical"
+        means across a replica set."""
+        return sorted((key, entry_to_json(entry))
+                      for key, entry in self._entries.items())
+
 
 def _worker_main(requests, responses):
     """The worker-process loop: drain the request queue into a
@@ -129,6 +160,8 @@ def _worker_main(requests, responses):
             responses.put(state.probe_batch(message[1]))
         elif op == "size":
             responses.put(len(state))
+        elif op == "dump":
+            responses.put(state.dump())
         elif op == "stop":
             responses.put("stopped")
             return
@@ -137,12 +170,21 @@ def _worker_main(requests, responses):
 class _WorkerHandle:
     """One worker process plus its request/response queues."""
 
-    #: overall ceiling on one response wait — a worker that is alive but
-    #: silent this long is treated as crashed and replaced
+    #: default ceiling on one response wait — a worker that is alive but
+    #: silent this long is treated as crashed and replaced. Deployments
+    #: (and the directed timeout tests) override it per pool via the
+    #: ``response_timeout`` constructor parameter.
     RESPONSE_TIMEOUT = 60.0
 
-    def __init__(self, shard_id, context):
+    def __init__(self, shard_id, context, response_timeout=None):
         self.shard_id = shard_id
+        self.response_timeout = (self.RESPONSE_TIMEOUT
+                                 if response_timeout is None
+                                 else response_timeout)
+        #: per-shard spawn ordinal — 0 for a pool's single worker; the
+        #: replicated pool numbers each replica (and each replacement)
+        #: so fault injection can address one replica deterministically
+        self.replica_seq = 0
         self.requests = context.Queue()
         self.responses = context.Queue()
         self.process = context.Process(
@@ -165,7 +207,7 @@ class _WorkerHandle:
                 f"shard worker {self.shard_id}: {error}") from error
 
     def receive(self):
-        deadline = time.monotonic() + self.RESPONSE_TIMEOUT
+        deadline = time.monotonic() + self.response_timeout
         while True:
             try:
                 return self.responses.get(timeout=0.05)
@@ -184,7 +226,7 @@ class _WorkerHandle:
                 self.kill()
                 raise WorkerCrashed(
                     f"shard worker {self.shard_id} unresponsive for "
-                    f"{self.RESPONSE_TIMEOUT:.0f}s")
+                    f"{self.response_timeout:.0f}s")
 
     def stop(self):
         """Graceful shutdown; falls back to kill."""
@@ -227,15 +269,22 @@ class ShardWorkerPool:
     #: map-style path cannot ship bound shard objects across processes)
     routes_probes = True
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, response_timeout=None):
         # max_workers is accepted for signature parity with the other
         # executors; the pool always runs one worker per partition.
         self._context = multiprocessing.get_context("fork")
         self._repository = None
         self._workers = {}    # shard_id -> _WorkerHandle
         self._buffers = {}    # shard_id -> pending mutation tuples
+        self._response_timeout = response_timeout
         self.recoveries = 0
         self._closed = False
+
+    def _spawn(self, shard_id):
+        """Start one worker process for ``shard_id`` (the single spawn
+        point: the replicated pool overlays replica numbering here)."""
+        return _WorkerHandle(shard_id, self._context,
+                             self._response_timeout)
 
     # Wiring -----------------------------------------------------------------
 
@@ -263,6 +312,15 @@ class ShardWorkerPool:
     def record_remove(self, shard_id, entry):
         self._buffers.setdefault(shard_id, []).append(
             ("discard", entry.entry_id))
+
+    def record_use(self, shard_id, entry):
+        # Value-based, like the durable log's use records: the stamp has
+        # already been applied to the front-end entry, so shipping the
+        # resulting values keeps every replica — stream-fed, re-seeded
+        # from members, or replayed from the log — in agreement.
+        self._buffers.setdefault(shard_id, []).append(
+            ("use", entry.entry_id, entry.stats.use_count,
+             entry.stats.last_used_tick))
 
     def buffered_mutations(self):
         """Mutations recorded but not yet shipped (observability)."""
@@ -349,7 +407,7 @@ class ShardWorkerPool:
             raise RepositoryError("this ShardWorkerPool is closed")
         handle = self._workers.get(shard_id)
         if handle is None:
-            handle = _WorkerHandle(shard_id, self._context)
+            handle = self._spawn(shard_id)
             self._workers[shard_id] = handle
         elif not handle.alive():
             raise WorkerCrashed(f"shard worker {shard_id} is dead")
@@ -374,7 +432,7 @@ class ShardWorkerPool:
         if old is not None:
             old.kill()
         self._buffers[shard_id] = []
-        handle = _WorkerHandle(shard_id, self._context)
+        handle = self._spawn(shard_id)
         self._workers[shard_id] = handle
         mutations = self._replay_mutations(shard_id)
         if mutations:
@@ -423,21 +481,28 @@ class RepositoryService:
     Builds a :class:`~repro.restore.sharding.ShardedRepository` with
     ``executor="processes"`` (or wraps one you built), optionally
     attaches a :class:`~repro.restore.wal.RepositoryLog` for
-    durability, and exposes the repository surface. :meth:`close`
-    flushes the log and stops the workers — the multi-process analogue
-    of ``ReStore.close()``::
+    durability, and exposes the repository surface. ``replicas=k`` (k ≥
+    2) serves each partition from ``k`` warm worker replicas — crash
+    failover without durable replay, probes fanned out round-robin (see
+    :mod:`repro.restore.replication`); ``response_timeout`` bounds how
+    long one response wait may stay silent before the worker is
+    declared crashed. :meth:`close` flushes the log and stops the
+    workers — the multi-process analogue of ``ReStore.close()``::
 
-        with RepositoryService(num_shards=8,
+        with RepositoryService(num_shards=8, replicas=2,
                                persistence=RepositoryLog(dfs)) as service:
             service.insert(entry)
             candidates = service.match_candidates(plan)
     """
 
-    def __init__(self, num_shards=4, repository=None, persistence=None):
+    def __init__(self, num_shards=4, repository=None, persistence=None,
+                 replicas=1, response_timeout=None):
         from repro.restore.sharding import ShardedRepository
         if repository is None:
             repository = ShardedRepository(num_shards=num_shards,
-                                           executor="processes")
+                                           executor="processes",
+                                           replicas=replicas,
+                                           response_timeout=response_timeout)
         if repository.worker_pool is None:
             raise RepositoryError(
                 "RepositoryService needs a process-backed repository "

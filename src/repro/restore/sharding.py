@@ -102,7 +102,14 @@ class ThreadPoolProbeExecutor:
             self._pool = None
 
 
-def _resolve_executor(executor, max_workers):
+def _resolve_executor(executor, max_workers, replicas=1,
+                      response_timeout=None):
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if replicas > 1 and executor != "processes":
+        raise ValueError(
+            f"replicas={replicas} needs executor='processes' (replicas "
+            f"are worker processes), got executor={executor!r}")
     if executor == "serial":
         return SerialExecutor()
     if executor == "threads":
@@ -111,8 +118,13 @@ def _resolve_executor(executor, max_workers):
         # Imported lazily: the service module imports persistence (for
         # the entry wire format), which imports this module's shard
         # constants — resolving at call time breaks the cycle.
+        if replicas > 1:
+            from repro.restore.replication import ReplicatedWorkerPool
+            return ReplicatedWorkerPool(max_workers, replicas=replicas,
+                                        response_timeout=response_timeout)
         from repro.restore.service import ShardWorkerPool
-        return ShardWorkerPool(max_workers)
+        return ShardWorkerPool(max_workers,
+                               response_timeout=response_timeout)
     if hasattr(executor, "map") or getattr(executor, "routes_probes", False):
         return executor
     raise ValueError(
@@ -197,9 +209,18 @@ class ShardedRepository(Repository):
 
     * ``num_shards`` — number of hash partitions (≥ 1);
     * ``executor`` — how shard probes run: ``"serial"`` (default),
-      ``"threads"`` (a shared ``concurrent.futures`` pool), or any object
-      with a ``.map(fn, items)`` method;
-    * ``max_workers`` — thread-pool size when ``executor="threads"``.
+      ``"threads"`` (a shared ``concurrent.futures`` pool),
+      ``"processes"`` (worker processes behind the routing front-end),
+      or any object with a ``.map(fn, items)`` method;
+    * ``max_workers`` — thread-pool size when ``executor="threads"``;
+    * ``replicas`` — with ``executor="processes"``, serve each partition
+      from ``k ≥ 2`` warm worker replicas (crash failover without
+      durable replay, probes fanned out round-robin — see
+      :mod:`repro.restore.replication`); the default 1 keeps the
+      single-worker pool;
+    * ``response_timeout`` — seconds one worker response wait may stay
+      silent before the worker is declared crashed (defaults to the
+      service module's 60 s ceiling).
 
     All repository semantics are **identical** to the unsharded
     :class:`Repository`: same scan order (the paper Section 3 priority
@@ -210,15 +231,18 @@ class ShardedRepository(Repository):
     touches only the shards owning the job's leaf-load keys.
     """
 
-    def __init__(self, num_shards=4, executor="serial", max_workers=None):
+    def __init__(self, num_shards=4, executor="serial", max_workers=None,
+                 replicas=1, response_timeout=None):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         super().__init__()
         self.num_shards = num_shards
+        self.replicas = replicas
         self._shards = [RepositoryShard(index) for index in range(num_shards)]
         self._catchall = RepositoryShard(CATCHALL_SHARD)
         self._shard_of = {}           # entry_id -> owning RepositoryShard
-        self._executor = _resolve_executor(executor, max_workers)
+        self._executor = _resolve_executor(executor, max_workers, replicas,
+                                           response_timeout)
         # A routing executor (executor="processes") owns worker-process
         # replicas of the partitions and answers probes by shard id; the
         # map-style executors run closures over the in-process shards.
@@ -292,6 +316,13 @@ class ShardedRepository(Repository):
                               for shard in self.partitions()),
         }
 
+    def shard_stats(self, shard_id):
+        """The :class:`~repro.restore.stats.ShardStats` of partition
+        ``shard_id`` — the hook a replicated worker pool credits its
+        ``failovers``/``replica_fanout`` counters through, so promotion
+        and fan-out activity shows up in :meth:`shard_report`."""
+        return self._partition_by_id(shard_id).stats
+
     def record_match_hit(self, entry):
         """Credit a successful rewrite to the shard owning ``entry``
         (called by the manager after the matcher picks a candidate)."""
@@ -349,6 +380,16 @@ class ShardedRepository(Repository):
             shard.discard(entry)
             if self._pool is not None:
                 self._pool.record_remove(shard.shard_id, entry)
+
+    def record_use(self, entry, tick):
+        super().record_use(entry, tick)
+        # Worker replicas mirror the partition state, stats included:
+        # route the freshly stamped values into the owning worker's
+        # mutation stream, exactly as inserts and removals are.
+        if self._pool is not None:
+            shard = self._shard_of.get(entry.entry_id)
+            if shard is not None:
+                self._pool.record_use(shard.shard_id, entry)
 
     # Matching ---------------------------------------------------------------
 

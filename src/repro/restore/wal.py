@@ -139,6 +139,11 @@ class RepositoryLog:
         # place — a crash before the manifest swap would then brick the
         # restart. attach() seeds it above every generation on disk.
         self._generation = 0
+        #: how many partition_snapshot() replays this log has served —
+        #: the durable-read witness: warm replica failover must leave it
+        #: untouched, only cold worker recovery (and replica backfill)
+        #: may move it
+        self.snapshot_reads = 0
 
     # Lifecycle --------------------------------------------------------------
 
@@ -473,6 +478,7 @@ class RepositoryLog:
         (:class:`~repro.restore.service.ShardWorkerPool` recovery).
         """
         self._require_attached("partition_snapshot")
+        self.snapshot_reads += 1
         label = shard_label(shard_id)
         state = self._sections.get(label)
         alive = {}

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for the worker-process shard service.
+
+Crash tests used to kill workers ad hoc (``handle.process.kill()``
+sprinkled between operations), which pins the crash to a line of test
+code instead of a point in the *message stream* — unportable to
+randomized property streams and impossible to reproduce from a seed.
+:class:`FaultSchedule` fixes that: it wraps
+:class:`~repro.restore.service._WorkerHandle` message delivery, counts
+the messages each ``(shard, replica)`` receives, and kills the chosen
+victim's process **as its Nth message is being sent** — the victim dies
+before delivery, so the sender observes ``WorkerCrashed`` at exactly
+that point in the stream, every run. Schedules are either spelled out
+(``FaultSchedule([(shard_id, nth)])``) or generated from a seed
+(:meth:`FaultSchedule.from_seed`), which is what the property suite's
+fault-injected streams use.
+
+Replicas are addressed by their spawn ordinal (``replica_seq``): the
+replicated pool numbers each shard's replicas 0..k-1 at spawn and keeps
+counting for replacements, so "kill shard 1's second replica after its
+3rd message" names one deterministic process even across backfills.
+
+This module is a test harness, not a test module (no ``test_``
+prefix). It also provides :func:`install_hang_guard`: IPC tests that
+lose a queue message hang forever, and a hung test hangs the whole CI
+job — the guard arms :mod:`faulthandler` to dump every thread's stack
+and hard-exit the interpreter past a per-test deadline, turning a hang
+into a diagnosable failure.
+"""
+
+import faulthandler
+import random
+
+from repro.restore import service as _service
+
+#: per-test wall-clock ceiling for worker/replica IPC tests (seconds)
+WORKER_TEST_TIMEOUT = 180.0
+
+
+def install_hang_guard(timeout=WORKER_TEST_TIMEOUT):
+    """Arm faulthandler to dump all stacks and exit if the current test
+    runs past ``timeout`` seconds; returns the cancel callable (call it
+    in teardown). Use as an autouse fixture in worker test modules::
+
+        @pytest.fixture(autouse=True)
+        def _hang_guard():
+            cancel = install_hang_guard()
+            yield
+            cancel()
+    """
+    faulthandler.dump_traceback_later(timeout, exit=True)
+    return faulthandler.cancel_dump_traceback_later
+
+
+class FaultSchedule:
+    """Kill chosen shard workers after their Nth message, reproducibly.
+
+    ``kills`` is an iterable of ``(shard_id, nth_message)`` — replica 0,
+    the common case for the single-worker pool — or ``(shard_id,
+    replica_seq, nth_message)``. Messages are counted per ``(shard_id,
+    replica_seq)`` from the moment the schedule is entered; when a
+    victim's count reaches its ``nth``, the worker process is killed
+    (the process-kill half of ``_WorkerHandle.kill()`` — queues are
+    left for the pool's own reaping) *before* the message is handed to
+    the queue, so the send raises
+    :class:`~repro.restore.service.WorkerCrashed` deterministically.
+
+    Use as a context manager; ``killed`` records each kill as
+    ``(shard_id, replica_seq, message_op)`` in firing order. An optional
+    ``pool`` restricts counting and killing to handles owned by that
+    pool — required when several worker pools run side by side (the
+    lock-step fleets), since shard ids repeat across pools.
+    """
+
+    def __init__(self, kills, pool=None):
+        self._kills = {}
+        for point in kills:
+            if len(point) == 2:
+                shard_id, nth = point
+                replica_seq = 0
+            else:
+                shard_id, replica_seq, nth = point
+            if nth < 1:
+                raise ValueError(f"nth_message must be >= 1, got {nth}")
+            self._kills[(shard_id, replica_seq)] = nth
+        self._pool = pool
+        self._counts = {}
+        self._original_send = None
+        self.killed = []
+
+    @classmethod
+    def from_seed(cls, seed, shard_ids, replicas=1, kills=1,
+                  max_message=12, pool=None):
+        """A schedule of ``kills`` distinct victims drawn from
+        ``random.Random(seed)``: each picks a shard from ``shard_ids``,
+        a replica ordinal below ``replicas``, and an Nth message in
+        [1, max_message]. Same seed, same schedule — the property
+        suite's fault-injected streams are reproducible from their
+        stream number alone."""
+        rng = random.Random(seed)
+        shard_ids = list(shard_ids)
+        points = []
+        victims = set()
+        for _ in range(kills):
+            for _attempt in range(64):
+                victim = (rng.choice(shard_ids), rng.randrange(replicas))
+                if victim not in victims:
+                    break
+            victims.add(victim)
+            points.append(victim + (rng.randint(1, max_message),))
+        return cls(points, pool=pool)
+
+    def _owns(self, handle):
+        """Does the schedule's pool (if any) own ``handle``?"""
+        pool = self._pool
+        if pool is None:
+            return True
+        replica_sets = getattr(pool, "_replica_sets", None)
+        if replica_sets and any(handle in replicas
+                                for replicas in replica_sets.values()):
+            return True
+        workers = getattr(pool, "_workers", None)
+        return bool(workers) and handle in workers.values()
+
+    def __enter__(self):
+        schedule = self
+        original = _service._WorkerHandle.send
+
+        def counting_send(handle, message):
+            if schedule._owns(handle):
+                key = (handle.shard_id, getattr(handle, "replica_seq", 0))
+                count = schedule._counts.get(key, 0) + 1
+                schedule._counts[key] = count
+                if schedule._kills.get(key) == count:
+                    schedule.killed.append(key + (message[0],))
+                    handle.process.kill()
+                    handle.process.join(timeout=5.0)
+            return original(handle, message)
+
+        self._original_send = original
+        _service._WorkerHandle.send = counting_send
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _service._WorkerHandle.send = self._original_send
+        self._original_send = None
+        return False
+
+    @property
+    def pending(self):
+        """Victims whose Nth message has not arrived yet."""
+        return {key: nth for key, nth in self._kills.items()
+                if self._counts.get(key, 0) < nth}

@@ -28,6 +28,7 @@ total simulated workflow cost never exceeds the structural run's on the
 same randomized stream.
 """
 
+import contextlib
 import itertools
 import random
 
@@ -55,6 +56,8 @@ from repro.restore import (
 from repro.restore.matcher import contains, find_containment, pairwise_plan_traversal
 from repro.restore.persistence import CATCHALL_LABEL, segment_file_path
 from repro.restore.stats import EntryStats
+
+from tests.faultinject import FaultSchedule, install_hang_guard
 
 SCHEMA = Schema(
     [
@@ -477,6 +480,172 @@ def test_property_worker_processes_equivalent_to_serial(plan_pool):
             log.close()
             for _, repo in fleet:
                 repo.close()
+
+
+# --- Replication never changes decisions, even under kills (PR 7) -------------
+#
+# The same lock-step discipline again, pointed at replicas=2 — with
+# deterministic fault injection riding along: every stream kills a
+# seed-chosen replica after its seed-chosen Nth message, mid-stream.
+# Scan orders, find_equivalent answers, match decisions (per-plan AND
+# batched, which the replicated pool splits across the replica set),
+# and the executor-independent stats must stay identical to the serial
+# twins and the frozen seed throughout; at end of stream every shard's
+# surviving-or-backfilled replicas must hold bit-identical state images;
+# and the durable log written by a replicated arm must reload exactly.
+
+
+def test_property_replicated_workers_equivalent_under_faults(plan_pool):
+    cancel_guard = install_hang_guard(600.0)
+    try:
+        for stream in range(12):
+            rng = random.Random(17000 + stream)
+            dfs = DistributedFileSystem()
+            seed = LinearScanRepository()
+            fleet = [
+                ("serial-2", ShardedRepository(num_shards=2)),
+                ("replicated-2x2", ShardedRepository(num_shards=2,
+                                                     executor="processes",
+                                                     replicas=2)),
+                ("serial-8", ShardedRepository(num_shards=8)),
+                ("replicated-8x2", ShardedRepository(num_shards=8,
+                                                     executor="processes",
+                                                     replicas=2)),
+            ]
+            log = RepositoryLog(dfs)
+            log.attach(fleet[1][1])
+            twins = {}
+            tick = 0
+            try:
+                with contextlib.ExitStack() as faults:
+                    # One seed-chosen kill per replicated pool, armed for
+                    # the whole stream: the victim replica dies as its
+                    # Nth message is sent — maybe during a flush, maybe
+                    # mid-probe, maybe never (if the stream is too
+                    # short), but the same way on every run of the seed.
+                    for name, repo in fleet:
+                        pool = repo.worker_pool
+                        if pool is None:
+                            continue
+                        faults.enter_context(FaultSchedule.from_seed(
+                            17000 + stream, range(repo.num_shards),
+                            replicas=2, kills=1, pool=pool))
+                    for step in range(rng.randint(8, 14)):
+                        context = f"stream={stream} step={step}"
+                        action = rng.random()
+                        if action < 0.50 or not twins:
+                            plan = _pool_plan(plan_pool,
+                                              rng.randrange(len(plan_pool)),
+                                              rng.choice([0, 0, 1]))
+                            stat_values = dict(
+                                input_bytes=rng.choice([1000, 2000, 10000]),
+                                output_bytes=rng.choice([10, 100, 1000]),
+                                producing_job_time=rng.choice([1.0, 5.0,
+                                                               60.0]),
+                                created_tick=tick,
+                            )
+                            path = f"/stored/r{stream}-{step}"
+                            # One EntryStats per twin (unlike the older
+                            # lock-step arms, which share one object):
+                            # use-stamps now travel into the worker
+                            # replicas as values, so each repository's
+                            # entry must carry its own per-repo history.
+                            entries = [RepositoryEntry(plan, path,
+                                                       EntryStats(
+                                                           **stat_values))
+                                       for _ in range(len(fleet) + 1)]
+                            for (_, repo), entry in zip(fleet, entries):
+                                repo.insert(entry)
+                            seed.insert(entries[-1])
+                            twins[path] = entries
+                        elif action < 0.62:
+                            victim = seed.scan()[rng.randrange(len(seed))]
+                            entries = twins.pop(victim.output_path)
+                            for (_, repo), entry in zip(fleet, entries):
+                                repo.remove(entry)
+                            seed.remove(entries[-1])
+                        elif action < 0.72:
+                            tick += 1
+                            victim = seed.scan()[rng.randrange(len(seed))]
+                            for (_, repo), entry in zip(
+                                    fleet, twins[victim.output_path]):
+                                repo.record_use(entry, tick)
+                        else:
+                            probes = [_pool_plan(plan_pool,
+                                                 rng.randrange(len(plan_pool)),
+                                                 rng.choice([0, 0, 1]))
+                                      for _ in range(rng.randint(1, 3))]
+                            expected = [_first_match_path(seed.scan(), probe)
+                                        for probe in probes]
+                            serial_candidates = None
+                            for name, repo in fleet:
+                                singly = [repo.match_candidates(probe)
+                                          for probe in probes]
+                                batched = repo.match_candidates_batch(probes)
+                                assert [[e.output_path for e in cs]
+                                        for cs in batched] \
+                                    == [[e.output_path for e in cs]
+                                        for cs in singly], (context, name)
+                                firsts = [_first_match_path(cs, probe)
+                                          for cs, probe in zip(singly,
+                                                               probes)]
+                                assert firsts == expected, (context, name)
+                                paths = [[e.output_path for e in cs]
+                                         for cs in singly]
+                                if serial_candidates is None:
+                                    serial_candidates = paths
+                                else:
+                                    assert paths == serial_candidates, \
+                                        (context, name)
+                        for name, repo in fleet:
+                            assert [e.output_path for e in repo.scan()] == \
+                                [e.output_path for e in seed.scan()], \
+                                (context, name)
+                # Schedules released: end-of-stream invariants. Every
+                # replicated shard's set — survivors promoted warm,
+                # replacements backfilled, or whole sets cold-rebuilt —
+                # must hold bit-identical state images of the right size.
+                for name, repo in fleet:
+                    pool = repo.worker_pool
+                    if pool is None:
+                        continue
+                    for shard_id, size in repo.shard_sizes().items():
+                        if size == 0 and pool.replica_count(shard_id) == 0:
+                            continue
+                        states = pool.replica_states(shard_id)
+                        assert len(states) == repo.replicas, \
+                            (stream, name, shard_id)
+                        assert all(state == states[0] for state in states), \
+                            (stream, name, shard_id)
+                        assert len(states[0]) == size, \
+                            (stream, name, shard_id)
+                        assert pool.worker_size(shard_id) == size, \
+                            (stream, name, shard_id)
+                # The executor-independent stats agree with the serial
+                # twin of the same shard count; replication only adds
+                # its own counters on top.
+                for serial_name, replicated_name in [(0, 1), (2, 3)]:
+                    serial_stats = {
+                        shard.stats.shard_id: (shard.stats.probes,
+                                               shard.stats.candidates_returned,
+                                               shard.stats.occupancy)
+                        for shard in fleet[serial_name][1].partitions()}
+                    replicated_stats = {
+                        shard.stats.shard_id: (shard.stats.probes,
+                                               shard.stats.candidates_returned,
+                                               shard.stats.occupancy)
+                        for shard in fleet[replicated_name][1].partitions()}
+                    assert replicated_stats == serial_stats, (stream,
+                                                              replicated_name)
+                log.checkpoint()
+                _assert_reload_matches_live(dfs, fleet[1][1], plan_pool, rng,
+                                            f"stream={stream} reload")
+            finally:
+                log.close()
+                for _, repo in fleet:
+                    repo.close()
+    finally:
+        cancel_guard()
 
 
 # --- Incremental persistence: snapshot+log replay is exact (PR 4) -------------

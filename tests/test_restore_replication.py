@@ -1,0 +1,407 @@
+"""Directed tests for in-memory shard replication (PR 7): the
+ReplicatedWorkerPool's warm failover, replica read fan-out, backfill,
+the crash-window edges, and the response-timeout plumbing in
+``_WorkerHandle`` — all crashes injected through the deterministic
+``tests/faultinject.FaultSchedule``."""
+
+import multiprocessing
+
+import pytest
+
+from repro.physical.operators import POLoad, POStore
+from repro.physical.plan import PhysicalPlan
+from repro.restore import (
+    ReplicatedWorkerPool,
+    RepositoryEntry,
+    RepositoryLog,
+    RepositoryService,
+    ShardedRepository,
+)
+from repro.restore.persistence import SkeletonOp
+from repro.restore.service import _WorkerHandle, WorkerCrashed
+from repro.restore.sharding import shard_index_for_key
+from repro.restore.stats import EntryStats
+
+from tests.faultinject import FaultSchedule, install_hang_guard
+from tests.helpers import make_dfs
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    # A lost IPC message hangs forever; fail loudly with stacks instead.
+    cancel = install_hang_guard()
+    yield
+    cancel()
+
+
+def _chain_plan(index, path, extra_op=None):
+    load = POLoad(path, None, 0)
+    chain = SkeletonOp("filter", f"FILTER[a>{index}]", None, [load])
+    if extra_op is not None:
+        chain = SkeletonOp("foreach", f"FOREACH[{extra_op}]", None, [chain])
+    return PhysicalPlan([POStore(chain, f"/stored/s{index}")])
+
+
+def _entry(index, path="/data/d0"):
+    stats = EntryStats(input_bytes=1000 + index, output_bytes=10 + index,
+                       producing_job_time=1.0 + index)
+    return RepositoryEntry(_chain_plan(index, path), f"/stored/s{index}", stats)
+
+
+def _twin_repositories(num_shards=2, count=12, paths=3, replicas=2,
+                       **kwargs):
+    """A serial twin and a replicated process-backed twin holding
+    identical entries."""
+    serial = ShardedRepository(num_shards=num_shards, executor="serial")
+    replicated = ShardedRepository(num_shards=num_shards,
+                                   executor="processes", replicas=replicas,
+                                   **kwargs)
+    for index in range(count):
+        path = f"/data/d{index % paths}"
+        serial.insert(_entry(index, path))
+        replicated.insert(_entry(index, path))
+    return serial, replicated
+
+
+def _assert_probe_parity(serial, replicated, paths=3, tag="probe"):
+    for index in range(paths):
+        probe = _chain_plan(1000 + index, f"/data/d{index}", extra_op=tag)
+        assert [e.output_path for e in replicated.match_candidates(probe)] \
+            == [e.output_path for e in serial.match_candidates(probe)]
+
+
+def _stats_by_shard(repository):
+    return {shard.shard_id: (shard.stats.probes,
+                             shard.stats.candidates_returned,
+                             shard.stats.occupancy)
+            for shard in repository.partitions()}
+
+
+def _owner_of(path, num_shards):
+    return shard_index_for_key((path, 0), num_shards)
+
+
+class TestReplicatedPoolBasics:
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas >= 2"):
+            ReplicatedWorkerPool(replicas=1)
+        with pytest.raises(ValueError, match="needs executor='processes'"):
+            ShardedRepository(num_shards=2, replicas=2)
+        with pytest.raises(ValueError, match="replicas must be >= 1"):
+            ShardedRepository(num_shards=2, executor="processes", replicas=0)
+
+    def test_matches_serial_and_counts_fanout(self):
+        serial, replicated = _twin_repositories(num_shards=2, count=12)
+        try:
+            _assert_probe_parity(serial, replicated, tag="first")
+            _assert_probe_parity(serial, replicated, tag="second")
+            # The executor-independent counters agree with the serial
+            # twin; the replication counters are extra columns.
+            assert _stats_by_shard(replicated) == _stats_by_shard(serial)
+            fanned = sum(shard.stats.replica_fanout
+                         for shard in replicated.partitions())
+            # Round-robin rotation: with two probes per shard, at least
+            # one landed on a non-primary replica.
+            assert fanned >= 1
+            assert all(shard.stats.replica_fanout == 0
+                       for shard in serial.partitions())
+            assert "replicated-processes" in replicated.describe()
+            assert "k=2" in replicated.worker_pool.describe()
+        finally:
+            replicated.close()
+            replicated.close()  # idempotent
+            serial.close()
+
+    def test_replicas_hold_bit_identical_state(self):
+        serial, replicated = _twin_repositories(num_shards=2, count=14)
+        try:
+            pool = replicated.worker_pool
+            victims = [e for e in list(replicated.scan())[::3]]
+            for repo in (serial, replicated):
+                for victim in victims:
+                    twin = next(e for e in repo.scan()
+                                if e.output_path == victim.output_path)
+                    repo.remove(twin)
+            for shard_id in replicated.shard_sizes():
+                if not replicated.shard_members(shard_id):
+                    continue
+                states = pool.replica_states(shard_id)
+                assert len(states) == 2
+                assert states[0] == states[1]
+                assert len(states[0]) == len(replicated.shard_members(shard_id))
+                assert pool.worker_size(shard_id) \
+                    == len(replicated.shard_members(shard_id))
+            _assert_probe_parity(serial, replicated, tag="after-remove")
+        finally:
+            replicated.close()
+            serial.close()
+
+    def test_batch_probe_matches_per_plan_calls(self):
+        serial, replicated = _twin_repositories(num_shards=4, count=20,
+                                                paths=4)
+        try:
+            plans = [_chain_plan(2000 + index, f"/data/d{index % 4}",
+                                 extra_op="batch")
+                     for index in range(10)]
+            batched = replicated.match_candidates_batch(plans)
+            singly = [serial.match_candidates(plan) for plan in plans]
+            assert [[e.output_path for e in cs] for cs in batched] \
+                == [[e.output_path for e in cs] for cs in singly]
+        finally:
+            replicated.close()
+            serial.close()
+
+
+class TestWarmFailover:
+    def test_promotion_never_touches_partition_snapshot(self):
+        # The tentpole's contract, spy-asserted: primary dies, a warm
+        # peer answers, and the durable log sees NO partition replay on
+        # the failover path — only the later background backfill reads
+        # the snapshot.
+        dfs = make_dfs()
+        serial, replicated = _twin_repositories(num_shards=2, count=12)
+        log = RepositoryLog(dfs)
+        log.attach(replicated)
+        try:
+            _assert_probe_parity(serial, replicated, tag="warm-up")
+            pool = replicated.worker_pool
+            shard_id = _owner_of("/data/d0", 2)
+
+            replays = []
+            durable_snapshot = log.partition_snapshot
+
+            def spying_snapshot(requested_shard):
+                replays.append(requested_shard)
+                return durable_snapshot(requested_shard)
+
+            log.partition_snapshot = spying_snapshot
+            reads_before = log.snapshot_reads
+            # The round-robin cursor decides which replica answers the
+            # next probe: kill exactly that one on its next message, so
+            # the probe deterministically trips over the corpse and the
+            # pool promotes the surviving peer in place.
+            replicas = pool._replica_sets[shard_id]
+            cursor = pool._cursors.get(shard_id, 0) % len(replicas)
+            victim_seq = replicas[cursor].replica_seq
+            probe = _chain_plan(600, "/data/d0", extra_op="failover")
+            with FaultSchedule([(shard_id, victim_seq, 1)],
+                               pool=pool) as schedule:
+                assert [e.output_path
+                        for e in replicated.match_candidates(probe)] \
+                    == [e.output_path for e in serial.match_candidates(probe)]
+            assert [kill[:2] for kill in schedule.killed] \
+                == [(shard_id, victim_seq)]
+            assert pool.failovers == 1
+            assert pool.recoveries == 0
+            assert replicated.shard_stats(shard_id).failovers == 1
+            # Warm failover: zero durable reads, zero replays.
+            assert replays == []
+            assert log.snapshot_reads == reads_before
+            assert pool.replica_count(shard_id) == 1  # backfill still owed
+
+            # The next pool entry for the shard backfills the
+            # replacement from the durable snapshot — in the background
+            # of normal traffic, not on the failover path.
+            _assert_probe_parity(serial, replicated, tag="backfilled")
+            assert pool.replica_count(shard_id) == 2
+            assert pool.backfills == 1
+            assert replays == [shard_id]
+            assert log.snapshot_reads == reads_before + 1
+            states = pool.replica_states(shard_id)
+            assert states[0] == states[1]  # replacement joined bit-identical
+            assert _stats_by_shard(replicated) == _stats_by_shard(serial)
+        finally:
+            log.close()
+            replicated.close()
+            serial.close()
+
+    def test_failover_survives_ongoing_mutations(self):
+        # Mutations recorded after the kill still reach the survivors
+        # and the backfilled replacement alike.
+        serial, replicated = _twin_repositories(num_shards=2, count=8)
+        try:
+            _assert_probe_parity(serial, replicated, tag="pre")
+            pool = replicated.worker_pool
+            shard_id = _owner_of("/data/d1", 2)
+            with FaultSchedule([(shard_id, 1, 1)], pool=pool):
+                for index in range(8, 14):
+                    path = f"/data/d{index % 3}"
+                    serial.insert(_entry(index, path))
+                    replicated.insert(_entry(index, path))
+                _assert_probe_parity(serial, replicated, tag="mid")
+            _assert_probe_parity(serial, replicated, tag="post")
+            assert pool.failovers == 1
+            states = pool.replica_states(shard_id)
+            assert len(states) == 2 and states[0] == states[1]
+            assert pool.worker_size(shard_id) \
+                == len(replicated.shard_members(shard_id))
+        finally:
+            replicated.close()
+            serial.close()
+
+
+class TestCrashWindows:
+    def test_replica_killed_between_flush_and_probe(self):
+        # The narrowest window: the victim acknowledges the mutation
+        # flush (its first message) and dies exactly as the probe (its
+        # second) is sent. The peer got the same flush, so the promoted
+        # answer already includes every buffered mutation.
+        serial, replicated = _twin_repositories(num_shards=2, count=0)
+        try:
+            pool = replicated.worker_pool
+            shard_id = _owner_of("/data/d0", 2)
+            with FaultSchedule([(shard_id, 0, 2)], pool=pool) as schedule:
+                for index in range(9):
+                    path = f"/data/d{index % 3}"
+                    serial.insert(_entry(index, path))
+                    replicated.insert(_entry(index, path))
+                probe = _chain_plan(500, "/data/d0", extra_op="window")
+                assert [e.output_path
+                        for e in replicated.match_candidates(probe)] \
+                    == [e.output_path for e in serial.match_candidates(probe)]
+            assert [kill[2] for kill in schedule.killed] == ["probe"]
+            assert pool.failovers == 1
+            assert pool.recoveries == 0
+            _assert_probe_parity(serial, replicated, tag="window-after")
+        finally:
+            replicated.close()
+            serial.close()
+
+    def test_whole_replica_set_lost_forces_cold_fallback(self):
+        # Primary AND replica die in the same stream: the warm path has
+        # nobody to promote, so the pool falls back to the durable
+        # partition replay — the one case snapshot reads are for.
+        dfs = make_dfs()
+        serial, replicated = _twin_repositories(num_shards=2, count=12)
+        log = RepositoryLog(dfs)
+        log.attach(replicated)
+        try:
+            _assert_probe_parity(serial, replicated, tag="pre-wipe")
+            pool = replicated.worker_pool
+            shard_id = _owner_of("/data/d2", 2)
+            reads_before = log.snapshot_reads
+            with FaultSchedule([(shard_id, 0, 1), (shard_id, 1, 1)],
+                               pool=pool) as schedule:
+                serial.insert(_entry(50, "/data/d2"))
+                replicated.insert(_entry(50, "/data/d2"))
+                _assert_probe_parity(serial, replicated, tag="wipe")
+            assert len(schedule.killed) == 2
+            assert pool.recoveries == 1
+            assert pool.failovers == 0  # nobody left to promote
+            assert log.snapshot_reads == reads_before + 1
+            assert pool.replica_count(shard_id) == 2  # whole set respawned
+            states = pool.replica_states(shard_id)
+            assert states[0] == states[1]
+            assert pool.worker_size(shard_id) \
+                == len(replicated.shard_members(shard_id))
+            assert _stats_by_shard(replicated) == _stats_by_shard(serial)
+        finally:
+            log.close()
+            replicated.close()
+            serial.close()
+
+    def test_failover_during_batch_fanout(self):
+        # A replica dies while a batched fan-out is in flight: its chunk
+        # is retried on the promoted peer and the merged batch answer is
+        # indistinguishable from the serial twin's.
+        serial, replicated = _twin_repositories(num_shards=2, count=12)
+        try:
+            pool = replicated.worker_pool
+            shard_id = _owner_of("/data/d0", 2)
+            plans = [_chain_plan(3000 + index, f"/data/d{index % 3}",
+                                 extra_op="fanout")
+                     for index in range(8)]
+            # Message 1 to the victim is the batch's buffer flush (or
+            # its first chunk on a re-run); killing at message 2 lands
+            # inside the fan-out dispatch.
+            with FaultSchedule([(shard_id, 1, 2)], pool=pool) as schedule:
+                batched = replicated.match_candidates_batch(plans)
+            singly = [serial.match_candidates(plan) for plan in plans]
+            assert [[e.output_path for e in cs] for cs in batched] \
+                == [[e.output_path for e in cs] for cs in singly]
+            assert schedule.killed
+            assert pool.failovers == 1
+            assert pool.recoveries == 0
+            # And the batch path keeps answering after the promotion.
+            assert [[e.output_path for e in cs] for cs in
+                    replicated.match_candidates_batch(plans)] \
+                == [[e.output_path for e in cs] for cs in singly]
+        finally:
+            replicated.close()
+            serial.close()
+
+
+class TestResponseTimeout:
+    def test_timeout_threads_through_constructors(self):
+        replicated = ShardedRepository(num_shards=2, executor="processes",
+                                       replicas=2, response_timeout=7.5)
+        try:
+            pool = replicated.worker_pool
+            assert pool._response_timeout == 7.5
+            replicated.insert(_entry(0, "/data/d0"))
+            shard_id = _owner_of("/data/d0", 2)
+            assert pool.worker_size(shard_id) == 1
+            for handle in pool._replica_sets[shard_id]:
+                assert handle.response_timeout == 7.5
+        finally:
+            replicated.close()
+
+        with RepositoryService(num_shards=2, replicas=2,
+                               response_timeout=9.0) as service:
+            assert service.pool._response_timeout == 9.0
+        # The class default still applies when nothing is passed.
+        plain = ShardedRepository(num_shards=2, executor="processes")
+        try:
+            plain.insert(_entry(1, "/data/d0"))
+            pool = plain.worker_pool
+            assert pool.worker_size(_owner_of("/data/d0", 2)) == 1
+            handle = next(iter(pool._workers.values()))
+            assert handle.response_timeout == _WorkerHandle.RESPONSE_TIMEOUT
+        finally:
+            plain.close()
+
+    def test_receive_raises_when_worker_died_before_answering(self):
+        # Directed coverage for the first crash branch of receive():
+        # the process is gone, nothing is in flight — WorkerCrashed.
+        context = multiprocessing.get_context("fork")
+        handle = _WorkerHandle(3, context, response_timeout=5.0)
+        try:
+            handle.process.kill()
+            handle.process.join()
+            with pytest.raises(WorkerCrashed, match="died before answering"):
+                handle.receive()
+        finally:
+            handle.kill()
+
+    def test_receive_kills_unresponsive_worker_past_deadline(self):
+        # Directed coverage for the second crash branch: the worker is
+        # alive but silent past the (threaded-through) deadline — the
+        # handle kills it and reports it unresponsive.
+        context = multiprocessing.get_context("fork")
+        handle = _WorkerHandle(4, context, response_timeout=0.3)
+        try:
+            assert handle.alive()
+            with pytest.raises(WorkerCrashed, match="unresponsive"):
+                handle.receive()  # no request outstanding: never answers
+            assert not handle.process.is_alive()  # deadline killed it
+        finally:
+            handle.kill()
+
+
+class TestReplicatedService:
+    def test_repository_service_with_replicas_lifecycle(self):
+        dfs = make_dfs()
+        with RepositoryService(num_shards=2, replicas=2,
+                               persistence=RepositoryLog(dfs)) as service:
+            for index in range(6):
+                service.insert(_entry(index, f"/data/d{index % 2}"))
+            probe = _chain_plan(100, "/data/d0", extra_op="svc")
+            candidates = service.match_candidates(probe)
+            assert candidates
+            [batched] = service.match_candidates_batch([probe])
+            assert [e.output_path for e in batched] \
+                == [e.output_path for e in candidates]
+            assert "ReplicatedWorkerPool" in service.describe()
+        from repro.restore import load_repository
+        reloaded = load_repository(dfs)
+        assert len(reloaded) == 6

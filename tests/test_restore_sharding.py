@@ -26,6 +26,7 @@ from repro.restore.sharding import (
 )
 from repro.restore.stats import EntryStats
 
+from tests.faultinject import FaultSchedule, install_hang_guard
 from tests.helpers import (
     make_dfs,
     Q1_TEXT,
@@ -33,6 +34,15 @@ from tests.helpers import (
     seed_page_views,
     seed_users,
 )
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    # Worker/IPC tests that lose a queue message hang forever; turn a
+    # hang into a stack dump + hard failure instead of a stuck CI job.
+    cancel = install_hang_guard()
+    yield
+    cancel()
 
 
 def _chain_plan(index, path, extra_op=None):
@@ -329,10 +339,12 @@ class TestWorkerProcesses:
             serial.close()
 
     def test_worker_crash_replays_durable_partition(self):
-        # Satellite: kill one shard worker mid-stream and prove the
-        # front-end replays that partition's durable section + segment
-        # into the fresh worker — scan order, per-shard stats, and match
-        # decisions bit-identical to the serial twin throughout.
+        # Satellite: kill one shard worker mid-stream — through the
+        # deterministic FaultSchedule, so the crash lands at a fixed
+        # point of the message stream rather than a line of test code —
+        # and prove the front-end replays that partition's durable
+        # section + segment into the fresh worker: scan order, per-shard
+        # stats, and match decisions bit-identical to the serial twin.
         dfs = make_dfs()
         serial, procs = _twin_repositories(num_shards=2, count=8, paths=3)
         log = RepositoryLog(dfs)
@@ -347,9 +359,6 @@ class TestWorkerProcesses:
 
             pool = procs.worker_pool
             shard_id = next(iter(pool._workers))
-            handle = pool._workers[shard_id]
-            handle.process.kill()
-            handle.process.join()
 
             replays = []
             durable_snapshot = log.partition_snapshot
@@ -359,9 +368,15 @@ class TestWorkerProcesses:
                 return durable_snapshot(requested_shard)
 
             log.partition_snapshot = spying_snapshot
-            _assert_probe_parity(serial, procs, paths=3, tag="post-kill")
+            # The victim dies as its next message is sent: the probe
+            # dispatch observes the crash mid-stream and recovers.
+            with FaultSchedule([(shard_id, 1)], pool=pool) as schedule:
+                _assert_probe_parity(serial, procs, paths=3, tag="post-kill")
+            assert [kill[:2] for kill in schedule.killed] == [(shard_id, 0)]
+            assert not schedule.pending
             assert pool.recoveries == 1
             assert replays == [shard_id]  # re-seeded from durable state
+            assert log.snapshot_reads == 1
             # The replica rebuilt from section + segment holds exactly
             # the partition's live membership.
             assert pool.worker_size(shard_id) \
