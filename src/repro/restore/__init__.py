@@ -114,6 +114,27 @@ whole-set loss falls back to the PR 6 cold re-seed. Enabled by
 :class:`~repro.restore.stats.ShardStats` grow ``failovers`` and
 ``replica_fanout`` counters, and ``tests/faultinject.py`` gives the
 test suite deterministic, seed-reproducible mid-stream kills.
+
+Async ingest (PR 8) takes registration off the submit path entirely:
+``ReStore(ingest="async")`` only *captures* each registration (plan
+subtree, output path, execution statistics, clock tick) into a record
+on a bounded :class:`~repro.restore.ingest.IngestQueue` — with an
+explicit backpressure policy when it fills: ``block``, ``reject`` (the
+record is reported and its file discarded), or ``coalesce``
+(duplicate frontier fingerprints are absorbed into the queued
+survivor) — and a background :class:`~repro.restore.ingest.Registrar`
+thread applies the records in batches: clone + dedup + admission,
+per-shard grouped worker-pool flushes
+(``Repository.insert_batch`` / ``ShardWorkerPool.flush_shards``), the
+Rule 3/4 eviction sweep at the captured tick, and the persistence
+checkpoint. Inline mode runs the *same* capture/apply code
+synchronously, so decisions are bit-identical by construction — the
+property suite drives async vs inline vs the frozen seed in lock-step
+behind ``ReStore.flush()`` barriers. Queue pressure and drain latency
+land on the report as :class:`~repro.restore.stats.IngestStats`
+(``last_report.ingest``);
+``benchmarks/bench_ingest_load.py`` holds the p99 submit-latency
+evidence.
 """
 
 from repro.restore.baseline import LinearScanRepository
@@ -122,7 +143,12 @@ from repro.restore.heuristics import (
     ConservativeHeuristic,
     NoHeuristic,
 )
-from repro.restore.index import leaf_loads, plan_fingerprint
+from repro.restore.index import (
+    leaf_loads,
+    operator_fingerprint,
+    plan_fingerprint,
+)
+from repro.restore.ingest import IngestQueue, Registrar
 from repro.restore.manager import ReStore, ReStoreReport
 from repro.restore.matcher import find_containment, pairwise_plan_traversal
 from repro.restore.persistence import (
@@ -145,6 +171,7 @@ from repro.restore.selector import (
 )
 from repro.restore.service import RepositoryService, ShardWorkerPool
 from repro.restore.sharding import ShardedRepository
+from repro.restore.stats import IngestStats
 from repro.restore.wal import RepositoryLog
 
 __all__ = [
@@ -154,14 +181,18 @@ __all__ = [
     "estimate_entry_savings",
     "find_containment",
     "HeuristicRetentionPolicy",
+    "IngestQueue",
+    "IngestStats",
     "KeepEverythingPolicy",
     "leaf_loads",
     "LinearScanRepository",
     "load_repository",
     "LoaderReport",
     "NoHeuristic",
+    "operator_fingerprint",
     "pairwise_plan_traversal",
     "plan_fingerprint",
+    "Registrar",
     "ReplicatedWorkerPool",
     "save_repository",
     "save_snapshot",

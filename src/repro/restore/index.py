@@ -76,8 +76,8 @@ def leaf_loads(plan):
     return frozenset(keys)
 
 
-def plan_fingerprint(plan):
-    """Canonical structural hash of ``plan``'s match frontier.
+def operator_fingerprint(op):
+    """Canonical structural hash of the subtree rooted at ``op``.
 
     The fingerprint is a SHA-256 Merkle hash over (signature, child
     fingerprints) with Split operators skipped — precisely the structure
@@ -87,25 +87,40 @@ def plan_fingerprint(plan):
     Child *digests* are combined rather than child serializations, so
     shared subplans cost O(nodes), not O(paths). Stable across processes,
     so it round-trips through persistence.
+
+    Because the hash covers the frontier subtree only (never the Store),
+    an uncloned sub-plan operator and the cloned entry plan built from it
+    fingerprint identically — which is what lets the async ingest queue
+    coalesce duplicate registrations without cloning on the hot path.
     """
     memo = {}
 
-    def canon(op):
-        op = skip_splits(op)
-        key = id(op)
+    def canon(node_op):
+        node_op = skip_splits(node_op)
+        key = id(node_op)
         cached = memo.get(key)
         if cached is None:
-            signature = op.signature()
+            signature = node_op.signature()
             node = hashlib.sha256(
                 f"[{len(signature)}:{signature}".encode("utf-8"))
-            for parent in op.inputs:
+            for parent in node_op.inputs:
                 node.update(canon(parent).encode("ascii"))
             node.update(b"]")
             cached = node.hexdigest()
             memo[key] = cached
         return cached
 
-    return canon(match_frontier(plan))
+    return canon(op)
+
+
+def plan_fingerprint(plan):
+    """Canonical structural hash of ``plan``'s match frontier.
+
+    Delegates to :func:`operator_fingerprint` at
+    :func:`~repro.restore.matcher.match_frontier` — see there for the
+    hash's equivalence guarantees.
+    """
+    return operator_fingerprint(match_frontier(plan))
 
 
 #: sentinel distinguishing "caller did not pass keys" from None (unkeyable)

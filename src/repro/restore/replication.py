@@ -187,6 +187,34 @@ class ReplicatedWorkerPool(ShardWorkerPool):
             self._note_failovers(shard_id, casualties)
         self._buffers[shard_id] = []
 
+    def flush_shards(self, shard_ids=None):
+        """Ship buffered mutations to every live replica of the listed
+        shards now (all buffered shards when ``shard_ids`` is None);
+        returns the number of mutations shipped (pre-fan-out — the same
+        count the base pool would report).
+
+        Like the base pool's flush, shards whose replica set has never
+        been spawned are skipped — spawning belongs to the probe path —
+        but an already-live set gets the full replicated treatment via
+        :meth:`_flush_to_replicas`: casualties pruned and noted as
+        failovers, whole-set loss falling through to the cold rebuild.
+        """
+        if self._closed:
+            return 0
+        if shard_ids is None:
+            shard_ids = [shard_id for shard_id, batch in self._buffers.items()
+                         if batch]
+        shipped = 0
+        for shard_id in shard_ids:
+            mutations = self._buffers.get(shard_id)
+            if not mutations or shard_id not in self._replica_sets:
+                continue
+            pending = len(mutations)
+            self._flush_to_replicas(shard_id)
+            if not self._buffers.get(shard_id):
+                shipped += pending
+        return shipped
+
     def _ready_replicas(self, shard_id):
         """The shard's live replica set, buffers flushed and any *owed*
         backfill executed. A crash detected during this very call only

@@ -330,6 +330,30 @@ class Repository:
         self._notify("insert", entry)
         return entry
 
+    def insert_batch(self, entries):
+        """Insert ``entries`` in order, then flush their shard groups.
+
+        Semantically identical to calling :meth:`insert` sequentially —
+        scan order, subsumption edges and change events are exactly the
+        per-entry ones — but the inserted entries are grouped by owning
+        shard and handed to :meth:`_flush_inserted_groups` once, so a
+        worker-pool-backed repository ships one grouped mutation message
+        per touched shard instead of serializing through a later probe.
+        Returns the entries, positionally aligned with ``entries``.
+        """
+        inserted = [self.insert(entry) for entry in entries]
+        groups = {}
+        for entry in inserted:
+            groups.setdefault(self.shard_id_of(entry), []).append(entry)
+        if groups:
+            self._flush_inserted_groups(groups)
+        return inserted
+
+    def _flush_inserted_groups(self, groups):
+        """Subclass hook: ``{shard_id: [entries]}`` just inserted by one
+        :meth:`insert_batch` call. The base repository has no shards and
+        no buffers — nothing to flush."""
+
     def _post_insert(self, entry):
         """Subclass hook, called after ``entry`` is fully indexed but
         before the insert change event fires (sharding registers the

@@ -326,6 +326,40 @@ class ShardWorkerPool:
         """Mutations recorded but not yet shipped (observability)."""
         return sum(len(batch) for batch in self._buffers.values())
 
+    def flush_shards(self, shard_ids=None):
+        """Ship buffered mutations to the listed shards' workers now
+        (all shards when ``shard_ids`` is None); returns the number of
+        mutations shipped.
+
+        Only *already-spawned, live* workers are fed: spawning here
+        would fork from whatever thread called the flush (the async
+        registrar), and a dead worker's buffer must survive for the
+        recovery replay the next probe performs — in both cases the
+        buffer is simply left in place, which is always safe because
+        worker ``apply`` is idempotent (adds are keyed overwrites, use
+        stamps carry absolute values).
+        """
+        if self._closed:
+            return 0
+        if shard_ids is None:
+            shard_ids = [shard_id for shard_id, batch in self._buffers.items()
+                         if batch]
+        shipped = 0
+        for shard_id in shard_ids:
+            mutations = self._buffers.get(shard_id)
+            if not mutations:
+                continue
+            handle = self._workers.get(shard_id)
+            if handle is None or not handle.alive():
+                continue
+            try:
+                handle.send(("apply", mutations))
+            except WorkerCrashed:
+                continue  # buffer kept; probe-path recovery replays it
+            self._buffers[shard_id] = []
+            shipped += len(mutations)
+        return shipped
+
     # Probe fan-out ----------------------------------------------------------
 
     def match_probe(self, shard_ids, job_loads):

@@ -15,7 +15,11 @@ Two operational counter families ride along:
   maintained by :class:`~repro.restore.sharding.ShardedRepository`;
 * :class:`RankingLedger` — per-rewrite estimated vs realized savings
   (the :mod:`~repro.restore.ranking` cost model's error, observable on
-  every :class:`~repro.restore.manager.ReStoreReport`).
+  every :class:`~repro.restore.manager.ReStoreReport`);
+* :class:`IngestStats` — enqueue/coalesce/reject/batch counters and a
+  drain-latency reservoir maintained by the async ingest front-end
+  (:mod:`~repro.restore.ingest`), attached to reports when
+  ``ReStore(ingest="async")``.
 """
 
 
@@ -214,6 +218,95 @@ class RankingLedger:
 
     def __repr__(self):
         return f"RankingLedger({self.describe()})"
+
+
+class IngestStats:
+    """Counters for the async ingest front-end (one per manager).
+
+    The submit path increments ``enqueued``/``coalesced``/``rejected``
+    under the queue lock; the registrar thread owns ``applied``,
+    ``batches`` and the drain-latency reservoir. No field is written by
+    both sides, so the partition (plus the queue lock on the submit-side
+    fields) keeps the counters exact without a dedicated stats lock.
+
+    Drain latency — enqueue to apply, per registration record — is kept
+    in a bounded reservoir: every ``_stride``-th sample is stored, and
+    when the buffer reaches ``RESERVOIR_CAP`` it is decimated (every
+    other sample kept, stride doubled). Deterministic, O(1) amortized,
+    and the p50/p99 stay representative of the whole run rather than a
+    recent window.
+    """
+
+    RESERVOIR_CAP = 8192
+
+    __slots__ = ("enqueued", "coalesced", "rejected", "applied", "batches",
+                 "max_queue_depth", "drained", "_stride", "_latencies")
+
+    def __init__(self):
+        self.enqueued = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.applied = 0
+        self.batches = 0
+        self.max_queue_depth = 0
+        self.drained = 0
+        self._stride = 1
+        self._latencies = []
+
+    def record_depth(self, depth):
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def record_drain(self, latency):
+        """Record one record's enqueue-to-apply latency (seconds)."""
+        self.drained += 1
+        if self.drained % self._stride == 0:
+            self._latencies.append(latency)
+            if len(self._latencies) >= self.RESERVOIR_CAP:
+                self._latencies = self._latencies[::2]
+                self._stride *= 2
+
+    def _percentile(self, fraction):
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(fraction * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def drain_p50(self):
+        return self._percentile(0.50)
+
+    @property
+    def drain_p99(self):
+        return self._percentile(0.99)
+
+    def as_dict(self):
+        return {
+            "enqueued": self.enqueued,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "applied": self.applied,
+            "batches": self.batches,
+            "max_queue_depth": self.max_queue_depth,
+            "drain_p50": self.drain_p50,
+            "drain_p99": self.drain_p99,
+        }
+
+    def describe(self):
+        p50, p99 = self.drain_p50, self.drain_p99
+        latency = ("no drains" if p50 is None else
+                   f"drain p50 {p50 * 1e3:.2f}ms / p99 {p99 * 1e3:.2f}ms")
+        return (
+            f"{self.enqueued} enqueued, {self.coalesced} coalesced, "
+            f"{self.rejected} rejected, {self.applied} applied in "
+            f"{self.batches} batch(es), depth<= {self.max_queue_depth}, "
+            f"{latency}"
+        )
+
+    def __repr__(self):
+        return f"IngestStats({self.describe()})"
 
 
 class ShardStats:

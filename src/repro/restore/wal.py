@@ -57,6 +57,7 @@ proves it).
 """
 
 import json
+import threading
 
 from repro.common.errors import RepositoryError
 from repro.restore.persistence import (
@@ -120,6 +121,16 @@ class RepositoryLog:
         self.compact_ratio = compact_ratio
         self.ranker = ranker
         self.repository = None
+        # Event intake, durable reads and checkpointing share one
+        # re-entrant mutex: under async ingest the registrar thread
+        # mutates the repository (each mutation lands here via the
+        # change-event channel) while the submit thread may flush or a
+        # worker recovery may read a partition snapshot. Delivery order
+        # through the channel IS the durable order — the lock only makes
+        # each record's intake (seq assignment + buffer append) and each
+        # flush/compact/snapshot atomic, it never reorders. Re-entrant
+        # because checkpoint() nests compact()/flush().
+        self._mutex = threading.RLock()
         self._seq = 0                # last sequence number assigned
         self._next_key = 0           # stable-key allocator
         self._keys = {}              # entry_id -> stable log key
@@ -404,6 +415,10 @@ class RepositoryLog:
         return key
 
     def _on_event(self, op, entry):
+        with self._mutex:
+            self._intake(op, entry)
+
+    def _intake(self, op, entry):
         shard_id = self.repository.shard_id_of(entry)
         record = {"op": op, "shard": shard_id}
         if op == "insert":
@@ -478,6 +493,10 @@ class RepositoryLog:
         (:class:`~repro.restore.service.ShardWorkerPool` recovery).
         """
         self._require_attached("partition_snapshot")
+        with self._mutex:
+            return self._partition_snapshot_locked(shard_id)
+
+    def _partition_snapshot_locked(self, shard_id):
         self.snapshot_reads += 1
         label = shard_label(shard_id)
         state = self._sections.get(label)
@@ -555,7 +574,8 @@ class RepositoryLog:
     def flush(self):
         """Append pending change records to their segments; O(delta),
         one tail-block append per touched partition."""
-        return self._flush_labels(sorted(self._pending))
+        with self._mutex:
+            return self._flush_labels(sorted(self._pending))
 
     def _flush_labels(self, labels):
         appended = 0
@@ -585,14 +605,15 @@ class RepositoryLog:
         counts every pending record made durable either way.
         """
         self._require_attached("checkpoint")
-        dirty = self.dirty_shards()
-        if dirty:
-            durable = self.pending_records
-            self.compact(dirty)
-            return {"appended": durable, "compacted": True,
-                    "compacted_shards": dirty}
-        return {"appended": self.flush(), "compacted": False,
-                "compacted_shards": []}
+        with self._mutex:
+            dirty = self.dirty_shards()
+            if dirty:
+                durable = self.pending_records
+                self.compact(dirty)
+                return {"appended": durable, "compacted": True,
+                        "compacted_shards": dirty}
+            return {"appended": self.flush(), "compacted": False,
+                    "compacted_shards": []}
 
     def compact(self, shards=None):
         """Streaming snapshot rewrite of ``shards`` (labels; default:
@@ -626,6 +647,10 @@ class RepositoryLog:
         the order log to a single full record).
         """
         self._require_attached("compact")
+        with self._mutex:
+            return self._compact_locked(shards)
+
+    def _compact_locked(self, shards):
         repository = self.repository
         labels = {shard_label(shard_id): shard_id
                   for shard_id in repository.shard_sizes()}

@@ -1002,3 +1002,129 @@ def test_property_savings_ranker_streams_are_safe():
             assert arms[1] == arms[2], label
     finally:
         manager_module.apply_rewrite = original_apply
+
+
+# --- Async ingest is invisible (PR 8) ------------------------------------------
+#
+# The sixth lock-step family: the same randomized workflow streams,
+# driven through managers whose registrations drain on a background
+# registrar thread (``ingest="async"``) — against the inline indexed
+# manager and the frozen seed. Registration is captured on the submit
+# path and applied later by the *same* code inline mode runs, so with a
+# ``flush()`` barrier before every observation the decisions must be
+# bit-identical: rewrites, eliminations, injected stores, registrations,
+# retention-policy rejections, Rule 3/4 evictions (the sweep replays at
+# the captured tick), scan orders, and outputs. A tight retention window
+# plus mid-stream input reseeds keeps the eviction rules genuinely
+# exercised, and a durable async arm must checkpoint to a bit-identical
+# reload.
+
+
+def _ingest_shape(manager):
+    """Like _report_shape, but safe under eviction: entry ids registered
+    earlier in a submit may be swept at its end, so counts stand in for
+    dereferenced paths (the scan list still pins the full end state)."""
+    report = manager.last_report
+    return {
+        "rewrites": len(report.rewrites),
+        "eliminated": len(report.eliminated_jobs),
+        "injected": [(kind, _normalize(path, manager))
+                     for _, kind, path in report.injected_stores],
+        "registered": len(report.registered_entries),
+        "rejected": [_normalize(path, manager)
+                     for path in report.rejected_candidates],
+        "evicted": len(report.evicted_entries),
+        "scan": [_normalize(e.output_path, manager)
+                 for e in manager.repository.scan()],
+    }
+
+
+def test_property_async_ingest_matches_inline_and_seed():
+    from repro.restore import HeuristicRetentionPolicy
+
+    for stream in range(8):
+        rng = random.Random(21000 + stream)
+        rows = [
+            (rng.choice(["x", "y", "z"]), rng.randint(0, 50),
+             rng.randint(0, 50), rng.choice(["p", "q"]))
+            for _ in range(6)
+        ]
+        reseed_rows = [
+            (rng.choice(["x", "y", "z"]), rng.randint(0, 50),
+             rng.randint(0, 50), rng.choice(["p", "q"]))
+            for _ in range(6)
+        ]
+        queries = []
+        for q in range(rng.randint(2, 4)):
+            transforms = [rng.choice(TRANSFORM_TEMPLATES)
+                          for _ in range(rng.randint(0, 3))]
+            tail = rng.choice(TAIL_TEMPLATES)
+            queries.append(build_query(transforms, tail)
+                           .replace("/out/result", f"/out/s{q}"))
+        window = rng.choice([1, 2, 3])
+        reseed_at = (rng.randrange(1, len(queries))
+                     if rng.random() < 0.5 else None)
+
+        arms = [
+            ("seed-inline", lambda: LinearScanRepository(), {}, False),
+            ("indexed-inline", lambda: Repository(), {}, False),
+            ("indexed-async", lambda: Repository(),
+             dict(ingest="async"), False),
+            ("sharded2-async", lambda: ShardedRepository(num_shards=2),
+             dict(ingest="async", ingest_batch_size=4), False),
+            ("durable-async", lambda: Repository(),
+             dict(ingest="async"), True),
+        ]
+        results = {}
+        for name, factory, kwargs, durable in arms:
+            system = PigSystem()
+            system.dfs.write_lines(
+                "/data/t", [encode_row(r, SCHEMA) for r in rows])
+            if durable:
+                kwargs = dict(kwargs,
+                              persistence=RepositoryLog(system.dfs,
+                                                        compact_ratio=2.0))
+            manager = system.restore(
+                repository=factory(),
+                retention=HeuristicRetentionPolicy(window_ticks=window),
+                **kwargs)
+            try:
+                shapes, counters = [], []
+                for name_index, query in enumerate(queries):
+                    if name_index == reseed_at:
+                        # Input change mid-stream: Rule 4 must evict the
+                        # stale entries — in every arm, at the same tick.
+                        system.dfs.write_lines(
+                            "/data/t",
+                            [encode_row(r, SCHEMA) for r in reseed_rows],
+                            overwrite=True)
+                    manager.submit(system.compile(query, f"s{name_index}"))
+                    # The drain barrier: every assertion below observes a
+                    # fully-applied record stream (no-op for inline arms).
+                    manager.flush()
+                    shapes.append(_ingest_shape(manager))
+                    counters.append(
+                        manager.last_report.match_counters.as_dict())
+                outputs = {f"/out/s{q}": system.dfs.read_lines(f"/out/s{q}")
+                           for q in range(len(queries))}
+                if durable:
+                    # checkpoint_every=1: after the final flush the log
+                    # is current; the reload must be bit-identical.
+                    assert _entry_state(load_repository(system.dfs)) == \
+                        _entry_state(manager.repository), \
+                        f"stream={stream} arm={name} reload"
+            finally:
+                manager.close()
+            results[name] = (shapes, outputs, counters)
+
+        seed_shapes, seed_outputs, _ = results["seed-inline"]
+        indexed_counters = results["indexed-inline"][2]
+        for name in ("indexed-inline", "indexed-async", "sharded2-async",
+                     "durable-async"):
+            shapes, outputs, counters = results[name]
+            label = f"stream={stream} arm={name}"
+            assert shapes == seed_shapes, label
+            assert outputs == seed_outputs, label
+            # Indexed and sharded arms see identical candidate
+            # sequences, async or not: skip accounting must match.
+            assert counters == indexed_counters, label

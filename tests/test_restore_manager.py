@@ -295,3 +295,29 @@ class TestResourceAccounting:
         # No evicted entry's path lingers in the shield set, so a later
         # discard of the same location is no longer wrongly blocked.
         assert not set(removed_paths) & restore._kept_paths
+
+    def test_async_disabled_registration_discards_each_file_once(self):
+        """The async twin of the orphan-store fix (PR 8): with
+        registration off, the pending candidates' files are routed
+        through exactly ONE discard channel — the enqueued
+        DiscardRecord — never also the per-submit discard list, which
+        would delete every path once per route."""
+        restore = fresh_restore(self.dfs, heuristic=AggressiveHeuristic(),
+                                enable_registration=False, ingest="async")
+        deleted = []
+        original = self.dfs.delete_if_exists
+
+        def counting_delete(path):
+            deleted.append(path)
+            return original(path)
+
+        self.dfs.delete_if_exists = counting_delete
+        restore.submit(compile_query(Q1_TEXT, "q1", self.dfs))
+        restore.flush()
+        restore.close()
+        assert len(restore.repository) == 0
+        assert self.dfs.list_files(ReStore.MATERIALIZED_PREFIX) == []
+        materialized = [path for path in deleted
+                        if path.startswith(ReStore.MATERIALIZED_PREFIX)]
+        assert materialized  # the injected stores did execute
+        assert len(materialized) == len(set(materialized))
