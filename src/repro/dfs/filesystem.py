@@ -113,6 +113,13 @@ class DistributedFileSystem:
         a modification, and the old content is gone so stability cannot
         be checked) — versions recorded before the delete never match
         the re-created file.
+
+        An overwrite is write-new-then-swap: the replacement's blocks
+        are placed *before* the old entry leaves the namespace, and the
+        single ``self._files[path] = ...`` assignment is the commit
+        point — a failure while placing (the crash window the
+        persistence layer's manifest swap relies on, see
+        docs/PERSISTENCE.md) leaves the old file fully readable.
         """
         if not path or not path.startswith("/"):
             raise DfsError(f"paths must be absolute, got {path!r}")
@@ -123,19 +130,23 @@ class DistributedFileSystem:
         if previous is not None and previous.lines == lines:
             return previous.status
         if previous is not None:
-            self.delete(path)
-            # The path is re-created on the next line — it was never
-            # observably deleted, so drop the tombstone delete() left
-            # (the version carries over from `previous` directly).
-            self._deleted_versions.pop(path, None)
             version = previous.status.version + 1
             created = previous.status.created_tick
         else:
-            version = self._deleted_versions.pop(path, 0) + 1
+            version = self._deleted_versions.get(path, 0) + 1
             created = self._now()
         blocks = self._place_blocks(path, lines)
         size_bytes = sum(block.num_bytes for block in blocks)
         status = FileStatus(path, size_bytes, len(lines), version, created, self._now())
+        if previous is not None:
+            # Swap: retire the replaced blocks without delete()'s
+            # tombstone — the path was never observably deleted, the
+            # version carries over from `previous` directly.
+            for block in previous.blocks:
+                for node_id in block.replicas:
+                    self.datanodes[node_id].remove_block(block.block_id)
+        else:
+            self._deleted_versions.pop(path, None)
         self._files[path] = _FileEntry(status, lines, blocks)
         return status
 

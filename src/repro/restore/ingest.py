@@ -197,6 +197,15 @@ class IngestQueue:
 
     POLICIES = ("block", "reject", "coalesce")
 
+    #: Locking contract, enforced by `repro.tools.statlint` (rule
+    #: ``lock-discipline``): these fields are only touched inside
+    #: ``with self._lock:`` — the queue is shared by every submit
+    #: thread and the registrar. ``stats`` counters on the queue side
+    #: (enqueued/rejected/coalesced/depth) are part of the same
+    #: critical sections; see `IngestStats` for the field partition.
+    GUARDED_BY = {"_records": "_lock", "_queued_by_fp": "_lock",
+                  "_closed": "_lock", "stats": "_lock"}
+
     def __init__(self, capacity=1024, policy="block", stats=None):
         if policy not in self.POLICIES:
             raise ValueError(f"unknown ingest policy {policy!r}; "
@@ -233,7 +242,7 @@ class IngestQueue:
                 self._not_full.wait()
                 if self._closed:
                     raise RuntimeError("ingest queue is closed")
-            self._append(record)
+            self._append_locked(record)
             return True
 
     def put_control(self, record):
@@ -241,9 +250,9 @@ class IngestQueue:
         with self._lock:
             if self._closed and not record.is_barrier:
                 raise RuntimeError("ingest queue is closed")
-            self._append(record)
+            self._append_locked(record)
 
-    def _append(self, record):
+    def _append_locked(self, record):
         if record.coalescable:
             record.enqueued_at = time.monotonic()
             self.stats.enqueued += 1
@@ -297,8 +306,18 @@ class Registrar:
     An exception raised by a record poisons the registrar: remaining
     non-barrier records are abandoned (their state can depend on the
     failed one), barriers still release, and the error re-raises on the
-    next ``flush()``/``close()``.
+    next ``flush()``/``close()``. ``KeyboardInterrupt``/``SystemExit``
+    additionally re-raise on this thread — an interrupt must stop the
+    drain loop, not be captured into a variable — so they both
+    terminate the registrar and propagate out of the caller's
+    ``flush()``.
     """
+
+    #: `repro.tools.statlint` (``lock-discipline``): the poison slot is
+    #: written by the registrar thread and consumed by whichever thread
+    #: calls flush()/close(); registrar-side stats counters are updated
+    #: under the same ingest lock that serializes batches.
+    GUARDED_BY = {"_error": "lock", "stats": "lock"}
 
     def __init__(self, queue, sink, lock, batch_size=32, poll_interval=0.05):
         self.queue = queue
@@ -333,20 +352,27 @@ class Registrar:
     # Drain loop ---------------------------------------------------------
 
     def _run(self):
-        while True:
-            self._gate.wait()
-            batch = self.queue.take_batch(self.batch_size, self.poll_interval)
-            if not batch:
-                if self._stop.is_set():
-                    return
-                continue
-            self._apply_batch(batch)
+        try:
+            while True:
+                self._gate.wait()
+                batch = self.queue.take_batch(self.batch_size,
+                                              self.poll_interval)
+                if not batch:
+                    if self._stop.is_set():
+                        return
+                    continue
+                self._apply_batch(batch)
+        except (KeyboardInterrupt, SystemExit):
+            # Already recorded as the poison by _apply_batch; exit the
+            # thread without the default unraisable-traceback noise.
+            # flush()/close() re-raise it on the caller.
+            return
 
     def _apply_batch(self, batch):
         with self.lock:
             context = {}
             applied_any = False
-            for record in batch:
+            for position, record in enumerate(batch):
                 if record.is_barrier:
                     record.event.set()
                     continue
@@ -355,7 +381,18 @@ class Registrar:
                 started = time.monotonic()
                 try:
                     record.apply(self.sink, context)
-                except BaseException as exc:  # surfaced on flush/close
+                except (KeyboardInterrupt, SystemExit) as exc:
+                    # An interrupt both poisons (so flush()/close()
+                    # re-raise it on the caller) and re-raises here (so
+                    # it actually stops this thread). Release the
+                    # batch's remaining barriers first — nothing will
+                    # drain them once the thread is gone.
+                    self._error = exc
+                    for later in batch[position + 1:]:
+                        if later.is_barrier:
+                            later.event.set()
+                    raise
+                except BaseException as exc:  # statlint: disable=exception-hygiene -- poisoning contract: the error is re-surfaced on the caller by the next flush()/close(), and interrupts re-raise above
                     self._error = exc
                     continue
                 if record.coalescable:
@@ -368,7 +405,10 @@ class Registrar:
                 if after_batch is not None:
                     try:
                         after_batch()
-                    except BaseException as exc:
+                    except (KeyboardInterrupt, SystemExit) as exc:
+                        self._error = exc
+                        raise
+                    except BaseException as exc:  # statlint: disable=exception-hygiene -- poisoning contract: re-surfaced on the caller by the next flush()/close()
                         self._error = exc
 
     # Barriers -----------------------------------------------------------
@@ -379,7 +419,12 @@ class Registrar:
         if self._thread.is_alive():
             event = threading.Event()
             self.queue.put_control(BarrierRecord(event))
-            event.wait()
+            # An interrupted registrar (KeyboardInterrupt/SystemExit)
+            # dies without draining this barrier; poll liveness so the
+            # recorded error still surfaces instead of waiting forever.
+            while not event.wait(0.05):
+                if not self._thread.is_alive():
+                    break
         self._raise_error()
 
     def close(self):
@@ -396,9 +441,10 @@ class Registrar:
             self._raise_error()
 
     def _raise_error(self):
-        if self._error is not None:
-            error, self._error = self._error, None
-            raise error
+        with self.lock:
+            if self._error is not None:
+                error, self._error = self._error, None
+                raise error
 
 
 class InlineIngest:

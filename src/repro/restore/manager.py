@@ -139,6 +139,14 @@ class ReStore(JobControl):
 
     MATERIALIZED_PREFIX = "/restore/materialized"
 
+    #: Locking contract, enforced by `repro.tools.statlint`
+    #: (``lock-discipline``): the discard shield is read/written by the
+    #: registrar thread (apply hooks) and by the submit thread, always
+    #: under the ingest lock. The apply hooks themselves carry
+    #: ``# statlint: holds=_ingest.lock`` — the registrar/InlineIngest
+    #: acquire the lock before invoking them.
+    GUARDED_BY = {"_kept_paths": "_ingest.lock"}
+
     #: sentinel: "use the paper's default heuristic" (None disables sub-jobs)
     _DEFAULT = object()
 
@@ -481,7 +489,7 @@ class ReStore(JobControl):
     # Both ingest modes run these — inline immediately on the submit
     # thread, async on the registrar thread under the ingest lock.
 
-    def apply_register(self, record, batch):
+    def apply_register(self, record, batch):  # statlint: holds=_ingest.lock
         """Clone, dedup, admit-or-reject one captured registration.
 
         ``batch`` is the registrar's per-batch fingerprint map: a record
@@ -530,7 +538,7 @@ class ReStore(JobControl):
         else:
             self._finish_rejected(record)
 
-    def _finish_duplicate(self, record, existing):
+    def _finish_duplicate(self, record, existing):  # statlint: holds=_ingest.lock
         if existing.output_path == record.output_path:
             # A re-registration at the same content-addressed path:
             # the "duplicate" file IS the entry's stored file, so
@@ -561,16 +569,22 @@ class ReStore(JobControl):
 
     def registration_rejected(self, record):
         """A full ``reject``-policy queue refused ``record`` (submit
-        thread): account for it and make sure its file cannot leak."""
-        record.report.rejected_candidates.append(record.output_path)
-        if record.owns_file:
-            self._discard_paths.append(record.output_path)
+        thread): account for it and make sure its file cannot leak.
+
+        Taken under the ingest lock: the registrar appends to the same
+        report's ``rejected_candidates`` (``_finish_rejected``) while it
+        drains this submit's earlier records, and two unsynchronized
+        ``list.append`` races can lose an element."""
+        with self._ingest.lock:
+            record.report.rejected_candidates.append(record.output_path)
+            if record.owns_file:
+                self._discard_paths.append(record.output_path)
 
     def apply_discard(self, record):
         for path in record.paths:
             self.discard_path_now(path)
 
-    def apply_submit_end(self, record):
+    def apply_submit_end(self, record):  # statlint: holds=_ingest.lock
         """Queued discards, the Rule 3/4 sweep at the captured tick,
         and (when due) the persistence checkpoint — the seed's
         end-of-submit tail, shared by both ingest modes."""
@@ -594,7 +608,7 @@ class ReStore(JobControl):
         the seed's end-of-submit timing."""
         self._discard_paths.extend(paths)
 
-    def discard_path_now(self, path):
+    def discard_path_now(self, path):  # statlint: holds=_ingest.lock
         """Async discard route (registrar thread): this path's submit-end
         record may already be applied, so delete immediately — under the
         same shield the queued route honors."""

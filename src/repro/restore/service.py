@@ -143,7 +143,7 @@ class ShardWorkerState:
                       for key, entry in self._entries.items())
 
 
-def _worker_main(requests, responses):
+def _worker_main(requests, responses):  # statlint: process-entrypoint
     """The worker-process loop: drain the request queue into a
     :class:`ShardWorkerState`. ``apply`` is fire-and-forget (mutations
     pipeline behind the next probe, which queue ordering sequences);
@@ -354,8 +354,8 @@ class ShardWorkerPool:
                 continue
             try:
                 handle.send(("apply", mutations))
-            except WorkerCrashed:
-                continue  # buffer kept; probe-path recovery replays it
+            except WorkerCrashed:  # statlint: disable=exception-hygiene -- not a swallow: the buffer is deliberately kept un-cleared, and the next probe of this shard runs the full _recover() replay
+                continue
             self._buffers[shard_id] = []
             shipped += len(mutations)
         return shipped

@@ -110,6 +110,20 @@ class RepositoryLog:
     every ``checkpoint_every`` submits.
     """
 
+    #: Locking contract, enforced by `repro.tools.statlint`
+    #: (``lock-discipline``): every piece of log-side checkpoint state
+    #: is only touched inside ``with self._mutex:`` — the change-event
+    #: listener fires on whichever thread mutates the repository (the
+    #: registrar under async ingest) while flush/compact/snapshot run
+    #: elsewhere. ``*_locked`` methods assert "caller holds the mutex".
+    GUARDED_BY = {"_seq": "_mutex", "_next_key": "_mutex",
+                  "_keys": "_mutex", "_pending": "_mutex",
+                  "_segment_records": "_mutex", "_sections": "_mutex",
+                  "_order_log": "_mutex",
+                  "_last_recorded_order": "_mutex",
+                  "_order_records": "_mutex", "_generation": "_mutex",
+                  "snapshot_reads": "_mutex"}
+
     def __init__(self, dfs, path=DEFAULT_REPOSITORY_PATH, log_path=None,
                  compact_ratio=1.0, ranker=None):
         if compact_ratio <= 0:
@@ -222,6 +236,14 @@ class RepositoryLog:
                     f"Load it first (load_repository) or delete the "
                     f"stale snapshot to really start fresh")
         self.repository = repository
+        # The whole rebind holds the mutex: add_listener() below makes
+        # the change-event channel live, and under async ingest events
+        # can arrive from the registrar thread the moment it does.
+        with self._mutex:
+            self._bind_locked(repository, probe)
+        return self
+
+    def _bind_locked(self, repository, probe):
         # A fresh binding: records buffered (and keys assigned) for a
         # previously attached repository describe state this one does
         # not share — flushing them into the new segments would inject
@@ -279,7 +301,7 @@ class RepositoryLog:
         unkeyed = [entry for entry in repository
                    if entry.entry_id not in self._keys]
         for entry in unkeyed:
-            self._assign_key(entry)
+            self._assign_key_locked(entry)
         repository.add_listener(self._on_event)
         repository.persistence_log = self
         self._generation = 1 + max(
@@ -324,7 +346,6 @@ class RepositoryLog:
                 probe = self._probe_durable_state()
             self._seq = max(self._seq, probe[1])
             self.compact()
-        return self
 
     def _layout_matches(self, report):
         """Does the loaded manifest's partition layout (labels and
@@ -408,7 +429,7 @@ class RepositoryLog:
 
     # Change events ----------------------------------------------------------
 
-    def _assign_key(self, entry):
+    def _assign_key_locked(self, entry):
         key = f"k{self._next_key}"
         self._next_key += 1
         self._keys[entry.entry_id] = key
@@ -416,13 +437,13 @@ class RepositoryLog:
 
     def _on_event(self, op, entry):
         with self._mutex:
-            self._intake(op, entry)
+            self._intake_locked(op, entry)
 
-    def _intake(self, op, entry):
+    def _intake_locked(self, op, entry):
         shard_id = self.repository.shard_id_of(entry)
         record = {"op": op, "shard": shard_id}
         if op == "insert":
-            record["key"] = self._assign_key(entry)
+            record["key"] = self._assign_key_locked(entry)
             record["entry"] = entry_to_json(entry)
         elif op == "remove":
             key = self._keys.pop(entry.entry_id, None)
@@ -461,24 +482,28 @@ class RepositoryLog:
     @property
     def pending_records(self):
         """Buffered change records not yet appended to any segment."""
-        return sum(len(lines) for lines in self._pending.values())
+        with self._mutex:
+            return sum(len(lines) for lines in self._pending.values())
 
     @property
     def log_records(self):
         """Complete change records across all DFS segments."""
-        return sum(self._segment_records.values())
+        with self._mutex:
+            return sum(self._segment_records.values())
 
     def segment_record_counts(self):
         """Complete on-DFS records per partition label (observability)."""
-        return {label: count
-                for label, count in sorted(self._segment_records.items())
-                if count}
+        with self._mutex:
+            return {label: count
+                    for label, count in sorted(self._segment_records.items())
+                    if count}
 
     def stable_keys(self):
         """``entry_id -> stable log key`` for every live keyed entry (a
         copy). The service layer inverts this to translate a replayed
         partition's durable keys back to the front-end's entry ids."""
-        return dict(self._keys)
+        with self._mutex:
+            return dict(self._keys)
 
     def partition_snapshot(self, shard_id):
         """One partition's durable-plus-pending state: ``{stable key:
@@ -560,12 +585,14 @@ class RepositoryLog:
         compact — the others' sections are reused untouched."""
         sizes = self._sizes_by_label()
         dirty = []
-        for label in sorted(set(self._segment_records) | set(self._pending)):
-            records = (self._segment_records.get(label, 0)
-                       + len(self._pending.get(label, ())))
-            if records > 0 and (records / max(1, sizes.get(label, 0))
-                                > self.compact_ratio):
-                dirty.append(label)
+        with self._mutex:
+            for label in sorted(set(self._segment_records)
+                                | set(self._pending)):
+                records = (self._segment_records.get(label, 0)
+                           + len(self._pending.get(label, ())))
+                if records > 0 and (records / max(1, sizes.get(label, 0))
+                                    > self.compact_ratio):
+                    dirty.append(label)
         return dirty
 
     def should_compact(self):
@@ -575,9 +602,9 @@ class RepositoryLog:
         """Append pending change records to their segments; O(delta),
         one tail-block append per touched partition."""
         with self._mutex:
-            return self._flush_labels(sorted(self._pending))
+            return self._flush_labels_locked(sorted(self._pending))
 
-    def _flush_labels(self, labels):
+    def _flush_labels_locked(self, labels):
         appended = 0
         for label in labels:
             lines = self._pending.get(label)
@@ -668,8 +695,8 @@ class RepositoryLog:
             # rewritten too, or the new manifest could not reference it.
             if label not in targets and label not in self._sections:
                 targets[label] = shard_id
-        self._flush_labels([label for label in sorted(self._pending)
-                            if label not in targets])
+        self._flush_labels_locked([label for label in sorted(self._pending)
+                                   if label not in targets])
         watermark = self._seq
         # A fresh generation per compaction, even at an unchanged seq:
         # the referenced section files must never be rewritten in place.
@@ -765,16 +792,18 @@ class RepositoryLog:
         return sorted(targets)
 
     def describe(self):
-        state = "unattached" if self.repository is None else f"seq {self._seq}"
-        dirty = ", ".join(self.dirty_shards()) or "none"
-        return (
-            f"RepositoryLog[{self.path} + {self.log_path}.*]: "
-            f"{state}, {self.log_records} logged record(s) across "
-            f"{sum(1 for count in self._segment_records.values() if count)} "
-            f"segment(s), {self.pending_records} pending, "
-            f"ratio {self.log_ratio():.2f}/{self.compact_ratio}, "
-            f"dirty: {dirty}"
-        )
+        with self._mutex:
+            state = ("unattached" if self.repository is None
+                     else f"seq {self._seq}")
+            dirty = ", ".join(self.dirty_shards()) or "none"
+            return (
+                f"RepositoryLog[{self.path} + {self.log_path}.*]: "
+                f"{state}, {self.log_records} logged record(s) across "
+                f"{sum(1 for count in self._segment_records.values() if count)} "
+                f"segment(s), {self.pending_records} pending, "
+                f"ratio {self.log_ratio():.2f}/{self.compact_ratio}, "
+                f"dirty: {dirty}"
+            )
 
     def __repr__(self):
         return f"<{self.describe()}>"

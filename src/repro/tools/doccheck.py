@@ -8,10 +8,13 @@ are skipped; a relative target's own ``#anchor`` suffix is ignored.
 
 Usage::
 
-    python -m repro.tools.doccheck README.md docs ROADMAP.md
+    python -m repro.tools.doccheck README.md docs ROADMAP.md --orphans docs
 
 Each argument is a markdown file or a directory scanned recursively for
-``*.md``. Exits non-zero listing every broken link.
+``*.md``. ``--orphans DIR`` additionally fails for every ``*.md`` under
+``DIR`` that no scanned file links to — a reference doc nothing points
+at is unreachable to readers and rots invisibly. Exits non-zero listing
+every broken link and orphan.
 """
 
 import os
@@ -54,22 +57,70 @@ def check_file(path):
     return broken
 
 
+def link_targets(path):
+    """Absolute (normalized) paths of ``path``'s relative link targets."""
+    targets = set()
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if relative:
+                    targets.add(
+                        os.path.normpath(os.path.join(base, relative)))
+    return targets
+
+
+def find_orphans(directory, referenced):
+    """``*.md`` files under ``directory`` no scanned file links to."""
+    return [path for path in iter_markdown_files([directory])
+            if os.path.normpath(os.path.abspath(path)) not in referenced]
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
-    if not argv:
-        print("usage: python -m repro.tools.doccheck FILE_OR_DIR...",
-              file=sys.stderr)
+    orphan_dirs = []
+    paths = []
+    arguments = iter(argv)
+    for argument in arguments:
+        if argument == "--orphans":
+            orphan_dir = next(arguments, None)
+            if orphan_dir is None:
+                print("doccheck: --orphans needs a directory",
+                      file=sys.stderr)
+                return 2
+            orphan_dirs.append(orphan_dir)
+        else:
+            paths.append(argument)
+    if not paths:
+        print("usage: python -m repro.tools.doccheck FILE_OR_DIR... "
+              "[--orphans DIR]", file=sys.stderr)
         return 2
     failures = 0
     checked = 0
-    for path in iter_markdown_files(argv):
+    referenced = set()
+    for path in iter_markdown_files(paths):
         if not os.path.exists(path):
             print(f"doccheck: no such file: {path}", file=sys.stderr)
             failures += 1
             continue
         checked += 1
+        referenced |= link_targets(path)
         for line_number, target in check_file(path):
             print(f"{path}:{line_number}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    for directory in orphan_dirs:
+        if not os.path.isdir(directory):
+            print(f"doccheck: --orphans: no such directory: {directory}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        for path in find_orphans(directory, referenced):
+            print(f"{path}: orphaned doc: no scanned file links to it",
                   file=sys.stderr)
             failures += 1
     if failures:

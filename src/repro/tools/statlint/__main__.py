@@ -1,0 +1,133 @@
+"""CLI for statlint (CI's ``analysis`` job).
+
+Usage::
+
+    python -m repro.tools.statlint [paths...] [options]
+
+Paths default to ``src``. Options:
+
+``--format text|json``
+    Output format (default text). JSON emits ``{"findings": [...],
+    "summary": {...}}`` for tooling.
+``--baseline FILE``
+    Baseline of grandfathered findings. Defaults to
+    ``.statlint-baseline.json`` when that file exists.
+``--fail-on-new``
+    Report and fail only on findings *not* covered by the baseline.
+``--write-baseline``
+    Rewrite the baseline file from the current findings and exit 0.
+``--report-only``
+    Print findings but always exit 0 (CI uses this for ``tests/``).
+``--rules r1,r2``
+    Run only the named rules.
+``--list-rules``
+    Print the registered rule ids and exit.
+
+Exit status: 0 clean (or only baselined findings under
+``--fail-on-new``), 1 findings, 2 usage or parse error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.tools.statlint import (Baseline, all_checkers, analyze_paths,
+                                  rule_ids)
+
+DEFAULT_BASELINE = ".statlint-baseline.json"
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.statlint",
+        description="Invariant-aware static analysis for this repo "
+                    "(see docs/ANALYSIS.md).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: %s if present)"
+                             % (DEFAULT_BASELINE,))
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="fail only on findings absent from the "
+                             "baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--report-only", action="store_true",
+                        help="always exit 0 (informational run)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--list-rules", action="store_true")
+    return parser
+
+
+def main(argv=None):
+    options = _parser().parse_args(argv)
+    if options.list_rules:
+        for checker in sorted(all_checkers(), key=lambda c: c.rule):
+            print("%-20s %s" % (checker.rule, checker.description))
+        return 0
+
+    rules = None
+    if options.rules:
+        rules = {part.strip() for part in options.rules.split(",")}
+        unknown = rules - set(rule_ids())
+        if unknown:
+            print("unknown rule(s): %s" % (", ".join(sorted(unknown))),
+                  file=sys.stderr)
+            return 2
+
+    findings, errors = analyze_paths(options.paths, rules=rules)
+    for error in errors:
+        print("error: %s" % (error,), file=sys.stderr)
+    if errors:
+        return 2
+
+    baseline_path = options.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if options.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(findings).save(target)
+        print("wrote %d finding(s) to %s" % (len(findings), target))
+        return 0
+
+    reported, grandfathered = findings, []
+    if options.fail_on_new and baseline_path:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print("error: cannot load baseline %s: %s"
+                  % (baseline_path, exc), file=sys.stderr)
+            return 2
+        reported, grandfathered = baseline.partition(findings)
+
+    summary = {"findings": len(reported),
+               "baselined": len(grandfathered),
+               "files": len({f.path for f in reported})}
+    if options.format == "json":
+        print(json.dumps({"findings": [f.to_json() for f in reported],
+                          "summary": summary}, indent=2, sort_keys=True))
+    else:
+        for finding in reported:
+            print(finding.render())
+        if reported:
+            print("%d finding(s) in %d file(s)%s"
+                  % (summary["findings"], summary["files"],
+                     " (+%d baselined)" % len(grandfathered)
+                     if grandfathered else ""))
+        else:
+            print("clean%s" % (" (%d baselined finding(s) grandfathered)"
+                               % len(grandfathered)
+                               if grandfathered else ""))
+    if options.report_only:
+        return 0
+    return 1 if reported else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

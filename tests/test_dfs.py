@@ -250,3 +250,36 @@ def test_property_block_partition_reconstructs_file(lines, block_size):
     for index in range(len(dfs.blocks_of("/f"))):
         rebuilt.extend(dfs.read_block_lines("/f", index))
     assert rebuilt == lines
+
+
+class TestOverwriteCrashSafety:
+    """PR 9: overwrite is write-new-then-swap — a failure while placing
+    the replacement's blocks must leave the old file fully readable
+    (the crash window the persistence manifest swap relies on)."""
+
+    def test_failed_overwrite_preserves_old_file(self, monkeypatch):
+        dfs = small_dfs()
+        dfs.write_lines("/data/a", ["old-1", "old-2"])
+        before = dfs.status("/data/a")
+        used_before = dfs.total_used_bytes()
+
+        import repro.dfs.filesystem as fsmod
+
+        def crash(line):
+            raise RuntimeError("datanode lost mid-placement")
+
+        monkeypatch.setattr(fsmod, "encoded_size", crash)
+        with pytest.raises(RuntimeError):
+            dfs.write_lines("/data/a", ["new"], overwrite=True)
+        monkeypatch.undo()
+
+        assert dfs.read_lines("/data/a") == ["old-1", "old-2"]
+        after = dfs.status("/data/a")
+        assert after.version == before.version
+        assert after.modified_tick == before.modified_tick
+        assert dfs.total_used_bytes() == used_before
+
+        # Once the fault clears, the same overwrite goes through.
+        status = dfs.write_lines("/data/a", ["new"], overwrite=True)
+        assert status.version == before.version + 1
+        assert dfs.read_lines("/data/a") == ["new"]

@@ -9,7 +9,8 @@ CI.
 import os
 import py_compile
 
-from repro.tools.doccheck import check_file, iter_markdown_files, main
+from repro.tools.doccheck import (check_file, find_orphans,
+                                  iter_markdown_files, link_targets, main)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -25,6 +26,7 @@ class TestRepoDocs:
         assert os.path.exists(_repo_path("README.md"))
         assert os.path.exists(_repo_path("docs", "ARCHITECTURE.md"))
         assert os.path.exists(_repo_path("docs", "PERSISTENCE.md"))
+        assert os.path.exists(_repo_path("docs", "ANALYSIS.md"))
 
     def test_no_broken_intra_repo_links(self):
         problems = []
@@ -36,6 +38,14 @@ class TestRepoDocs:
     def test_doccheck_cli_passes_on_repo(self, capsys):
         assert main([_repo_path(t) for t in DOC_TARGETS]) == 0
         assert "ok" in capsys.readouterr().out
+
+    def test_no_orphaned_docs(self):
+        # Every reference doc under docs/ must be reachable from the
+        # scanned entry points (README, ROADMAP, the docs themselves).
+        referenced = set()
+        for path in iter_markdown_files([_repo_path(t) for t in DOC_TARGETS]):
+            referenced |= link_targets(path)
+        assert find_orphans(_repo_path("docs"), referenced) == []
 
     def test_readme_covers_required_sections(self):
         with open(_repo_path("README.md"), encoding="utf-8") as handle:
@@ -73,6 +83,19 @@ class TestRepoDocs:
         for version in ("v1", "v2", "v3", "v4", "v5"):
             assert version in text
 
+    def test_analysis_reference_covers_required_topics(self):
+        """docs/ANALYSIS.md is the statlint reference: rule catalog,
+        annotation conventions, suppression grammar, baseline flow."""
+        with open(_repo_path("docs", "ANALYSIS.md"),
+                  encoding="utf-8") as handle:
+            text = handle.read()
+        for topic in ("lock-discipline", "lock-ordering", "fork-safety",
+                      "crash-ordering", "exception-hygiene",
+                      "suppression-hygiene", "guarded_by",
+                      "process-entrypoint", "baseline", "--fail-on-new",
+                      "justification", "limitations"):
+            assert topic in text.lower(), topic
+
 
 class TestDoccheckTool:
     def test_detects_broken_link(self, tmp_path):
@@ -108,6 +131,33 @@ class TestDoccheckTool:
 
     def test_no_arguments_is_usage_error(self):
         assert main([]) == 2
+
+    def test_orphan_detected(self, tmp_path, capsys):
+        (tmp_path / "index.md").write_text("[a](linked.md)\n",
+                                           encoding="utf-8")
+        (tmp_path / "linked.md").write_text("[back](index.md)\n",
+                                            encoding="utf-8")
+        (tmp_path / "floating.md").write_text("# floating\n",
+                                              encoding="utf-8")
+        assert main([str(tmp_path), "--orphans", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "floating.md" in err and "orphaned" in err
+        assert "linked.md" not in err
+
+    def test_fully_linked_directory_has_no_orphans(self, tmp_path):
+        (tmp_path / "index.md").write_text("[a](linked.md)\n",
+                                           encoding="utf-8")
+        (tmp_path / "linked.md").write_text("[back](index.md)\n",
+                                            encoding="utf-8")
+        assert main([str(tmp_path), "--orphans", str(tmp_path)]) == 0
+
+    def test_orphans_needs_a_directory_argument(self):
+        assert main(["--orphans"]) == 2
+
+    def test_orphans_missing_directory_fails(self, tmp_path):
+        (tmp_path / "a.md").write_text("# a\n", encoding="utf-8")
+        assert main([str(tmp_path), "--orphans",
+                     str(tmp_path / "nope")]) == 1
 
 
 class TestExamplesCompile:

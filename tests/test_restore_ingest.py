@@ -36,6 +36,7 @@ from repro.restore.ingest import (
     FrozenClock,
     IngestQueue,
     RegistrationRecord,
+    Registrar,
 )
 from repro.restore.stats import IngestStats
 
@@ -480,5 +481,69 @@ class TestIngestFaults:
             assert len(manager.repository) > len(checkpointed)
             assert _entry_state(load_repository(dfs)) == \
                 _entry_state(manager.repository)
+        finally:
+            manager.close()
+
+
+class TestExceptionPaths:
+    """PR 9 regressions: the registrar's BaseException narrowing and the
+    rejected-registration lock (both found by repro.tools.statlint)."""
+
+    def test_keyboard_interrupt_propagates_out_of_flush(self):
+        # An interrupt raised while applying a record must not be
+        # captured into the poison slot and forgotten: it terminates the
+        # registrar thread AND re-raises on the caller's flush().
+        queue = IngestQueue()
+
+        class _Interrupt:
+            coalescable = False
+            is_barrier = False
+
+            def apply(self, sink, batch):
+                raise KeyboardInterrupt
+
+        registrar = Registrar(queue, object(), threading.RLock())
+        queue.put_control(_Interrupt())
+        with pytest.raises(KeyboardInterrupt):
+            registrar.flush()
+        registrar._thread.join(timeout=5.0)
+        assert not registrar.alive
+        registrar.close()  # idempotent; the error was already consumed
+
+    def test_registration_rejected_serializes_on_ingest_lock(self):
+        # registration_rejected runs on the submit thread while the
+        # registrar may be appending to the same report under the ingest
+        # lock; the submit side must take that lock, not race the list.
+        manager = fresh_restore(seeded_dfs())
+        try:
+            class _Report:
+                def __init__(self):
+                    self.rejected_candidates = []
+
+            class _Record:
+                output_path = "/restore/tmp-rejected"
+                owns_file = True
+
+                def __init__(self):
+                    self.report = _Report()
+
+            record = _Record()
+            entered = threading.Event()
+            done = threading.Event()
+
+            def reject():
+                entered.set()
+                manager.registration_rejected(record)
+                done.set()
+
+            with manager._ingest.lock:
+                worker = threading.Thread(target=reject, daemon=True)
+                worker.start()
+                assert entered.wait(5.0)
+                assert not done.wait(0.2)  # blocked on the ingest lock
+            assert done.wait(5.0)
+            worker.join(5.0)
+            assert record.report.rejected_candidates == [record.output_path]
+            assert record.output_path in manager._discard_paths
         finally:
             manager.close()
