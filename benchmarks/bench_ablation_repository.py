@@ -27,7 +27,12 @@
   partition promoted to a worker process behind the routing front-end,
   probes shipped through the batched IPC-amortized path — candidate
   sequences bit-identical to the serial executor (asserted on any
-  hardware), throughput bar ≥1.2x enforced on ≥4 cores.
+  hardware), throughput bar ≥1.2x enforced on ≥4 cores;
+* **worker-owned durability** (PR 10): checkpoint (flush + full
+  compaction) throughput at 8 worker-backed shards with the partition
+  files owned by the shard workers vs the front end — durable bytes
+  bit-identical on any hardware, throughput bar ≥1.5x enforced on
+  ≥4 cores.
 """
 
 import json
@@ -691,6 +696,152 @@ def test_replication_fanout_and_failover(benchmark, record_experiment):
             f"must beat the single worker on {cores} cores, got "
             f"{speedup:.2f}x (single {timings['single-worker']:.4f}s, "
             f"replicated {timings['replicated-2x']:.4f}s)"
+        )
+
+
+# --- Worker-owned durability: checkpoint throughput (PR 10) -------------------
+#
+# The steady-state checkpoint scenario worker-owned durability exists
+# for: a 1000-entry repository across 8 worker-backed shards, every
+# shard dirtied between checkpoints, each checkpoint a flush plus a
+# full compaction. The front-end arm (``worker_durable=False``)
+# serializes all 8 snapshot sections itself; the worker arm ships each
+# shard's segment appends and section rewrite to the worker that owns
+# the partition (a compact spec of stat patches, not entry payloads),
+# so the O(repository) serialization overlaps across cores. The two
+# arms must leave bit-identical durable files — the worker writes
+# exactly the bytes the front end would have written — and that is
+# asserted on any hardware; the throughput bar only applies where the
+# workers can actually overlap.
+
+_DURABLE_SIZE = 1000
+_DURABLE_SHARDS = 8
+_DURABLE_CHECKPOINTS = 5
+_DURABLE_STAMPS = 64
+
+
+@pytest.mark.benchmark(group="ablation-worker-durable")
+def test_worker_durable_checkpoint_throughput(benchmark, record_experiment):
+    """The durability arm of the ablation (PR 10): checkpoint (flush +
+    full compact) throughput with partition files owned by the shard
+    workers vs the front end, durable bytes bit-identical. On >=4
+    cores the overlapped section writes must win (bar: >=1.5x)."""
+    pool_size = max(4, _DURABLE_SIZE // 10)
+
+    def build(worker_durable):
+        dfs = DistributedFileSystem()
+        repository = ShardedRepository(num_shards=_DURABLE_SHARDS,
+                                       executor="processes")
+        for index in range(_DURABLE_SIZE):
+            plan = _fabricated_plan(index, pool_size)
+            stats = EntryStats(
+                input_bytes=1000 + (index % 7) * 500,
+                output_bytes=10 + (index % 5) * 30,
+                producing_job_time=1.0 + (index % 11),
+            )
+            repository.insert(
+                RepositoryEntry(plan, f"/stored/s{index}", stats))
+        log = RepositoryLog(dfs, worker_durable=worker_durable)
+        log.attach(repository)
+        # Workers spawn lazily on probes; durable ownership needs every
+        # partition's worker alive before the first checkpoint, so warm
+        # one probe per load key (covers every populated shard).
+        probes = [_fabricated_plan(_DURABLE_SIZE * 2 + index, pool_size,
+                                   extra_op=f"durprobe{index}")
+                  for index in range(pool_size)]
+        repository.match_candidates_batch(probes)
+        return dfs, repository, log
+
+    front_dfs, front_repo, front_log = build(False)
+    worker_dfs, worker_repo, worker_log = build(None)  # auto-negotiated: on
+    assert worker_repo.worker_pool.durable_enabled
+    # Every hash shard populated (shard -1 holds leafless plans: none).
+    assert all(size for shard_id, size in worker_repo.shard_sizes().items()
+               if shard_id >= 0)
+
+    def run_checkpoints(repository, log):
+        total = 0.0
+        for round_index in range(_DURABLE_CHECKPOINTS):
+            entries = repository.scan()
+            for stamp in range(_DURABLE_STAMPS):
+                # Evenly spread over the scan order so every shard takes
+                # appends (and section rewrites) each round.
+                position = (stamp * len(entries) // _DURABLE_STAMPS
+                            + round_index) % len(entries)
+                repository.record_use(entries[position],
+                                      round_index * 1000 + stamp + 1)
+            seconds, _ = _timed(lambda: (log.flush(), log.compact()))
+            total += seconds
+        return total
+
+    def measure():
+        return {"front-end": run_checkpoints(front_repo, front_log),
+                "worker-owned": run_checkpoints(worker_repo, worker_log)}
+
+    try:
+        timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        # Unconditional: same checkpoints, same files, same bytes —
+        # manifest, every section generation, every segment, order log.
+        front_files = sorted(front_dfs.list_files(prefix="/restore/"))
+        worker_files = sorted(worker_dfs.list_files(prefix="/restore/"))
+        assert front_files == worker_files
+        for file in front_files:
+            assert front_dfs.read_lines(file) \
+                == worker_dfs.read_lines(file), file
+        # The worker arm really took the worker path (and only it did).
+        assert worker_log.worker_sections \
+            >= _DURABLE_CHECKPOINTS * _DURABLE_SHARDS
+        assert worker_log.worker_flushes >= _DURABLE_CHECKPOINTS
+        assert front_log.worker_sections == front_log.worker_flushes == 0
+        # Durability: replaying the worker-written files rebuilds the
+        # live state exactly.
+        reloaded = load_repository(worker_dfs)
+        assert [(e.output_path, e.stats.use_count, e.stats.last_used_tick)
+                for e in reloaded.scan()] == \
+            [(e.output_path, e.stats.use_count, e.stats.last_used_tick)
+             for e in worker_repo.scan()]
+    finally:
+        worker_log.close()
+        front_log.close()
+        worker_repo.close()
+        front_repo.close()
+
+    throughput = {label: _DURABLE_CHECKPOINTS / max(seconds, 1e-9)
+                  for label, seconds in timings.items()}
+    speedup = throughput["worker-owned"] / max(throughput["front-end"], 1e-9)
+    cores = os.cpu_count() or 1
+    record_experiment(ExperimentResult(
+        "ablation_worker_durable",
+        f"Worker-owned vs front-end checkpointing ({_DURABLE_SIZE} "
+        f"entries, {_DURABLE_SHARDS} shards, {_DURABLE_CHECKPOINTS} "
+        f"checkpoints of {_DURABLE_STAMPS} use-stamps + flush + full "
+        f"compaction, {cores} core(s))",
+        ["arm", "seconds", "checkpoints_per_s", "speedup"],
+        [
+            {"arm": "front-end durable writes (worker_durable=False)",
+             "seconds": round(timings["front-end"], 6),
+             "checkpoints_per_s": round(throughput["front-end"], 2),
+             "speedup": 1.0},
+            {"arm": "worker-owned partitions (segment + section in worker)",
+             "seconds": round(timings["worker-owned"], 6),
+             "checkpoints_per_s": round(throughput["worker-owned"], 2),
+             "speedup": round(speedup, 2)},
+        ],
+        notes=[
+            "durable files bit-identical across arms (asserted "
+            "unconditionally, every file every byte)",
+            f"worker-owned vs front-end checkpoint throughput: "
+            f"{speedup:.2f}x on {cores} core(s) (bar >=1.5x, enforced "
+            f"at >=4 cores)",
+        ],
+    ))
+    if cores >= 4:
+        assert speedup >= 1.5, (
+            f"worker-owned checkpointing must beat the front end on "
+            f"{cores} cores at {_DURABLE_SHARDS} shards, got "
+            f"{speedup:.2f}x (front-end {timings['front-end']:.4f}s, "
+            f"worker-owned {timings['worker-owned']:.4f}s)"
         )
 
 

@@ -1,0 +1,172 @@
+"""Worker-side durable writes through a front-end DFS gateway.
+
+The simulated :class:`~repro.dfs.filesystem.DistributedFileSystem` is an
+in-process object: a forked shard worker that wrote to its inherited
+*copy* would mutate private memory the front-end (and the next
+``load_repository``) never sees. Real deployments do not have this
+problem — each worker would simply hold its own HDFS client — so the
+gateway reproduces exactly that shape with the pieces this repo has:
+
+* the front-end runs one **pump thread** draining write requests from a
+  shared multiprocessing queue against the real DFS;
+* each worker holds a picklable :class:`DfsClient` — two queues and an
+  id, nothing else, safe to inherit at fork — whose calls block until
+  the pump acks, so a worker's durable-completion ack to the
+  coordinator happens-after its write is actually durable.
+
+The client surface is deliberately minimal: segment tail appends and
+whole-section rewrites, the two files a worker owns under worker-owned
+checkpointing (see ``docs/PERSISTENCE.md`` §6). There is **no
+manifest-swap operation** — the manifest is the coordination point and
+stays front-end-only; the statlint ``crash-ordering`` rule enforces the
+same split statically (its R5: worker modules never write the
+manifest).
+
+Write serialization comes from the checkpoint protocol, not from DFS
+locks: the coordinator holds the :class:`~repro.restore.wal.RepositoryLog`
+mutex while it waits for worker acks, and a worker only acks after its
+gateway call returned — so at most one side mutates the DFS at a time.
+"""
+
+import threading
+
+from repro.common.errors import RepositoryError
+
+
+class GatewayError(RepositoryError):
+    """A gateway write failed front-end-side (raised in the worker; the
+    worker's error ack makes the coordinator fall back to writing the
+    file itself)."""
+
+
+class DfsClient:
+    """The worker-side handle: enqueue one write, block until the pump
+    acks it.
+
+    Deliberately free of any front-end state — no DFS reference, no
+    locks, no threads — so it is safe to reach from a worker-process
+    entrypoint (the statlint ``fork-safety`` rule checks exactly that:
+    ``dfs`` handles are front-end-only attributes; workers write through
+    a client).
+    """
+
+    def __init__(self, client_id, requests, replies):
+        self._client_id = client_id
+        self._requests = requests
+        self._replies = replies
+
+    def _call(self, method, target, lines):
+        self._requests.put((self._client_id, method, target, lines))
+        status, detail = self._replies.get()
+        if status != "ok":
+            raise GatewayError(detail)
+        return detail
+
+    def append_lines(self, target, lines):
+        """Append ``lines`` to ``target`` — the worker's own segment
+        tail append; blocks until durable front-end-side."""
+        return self._call("append_lines", target, list(lines))
+
+    def write_section(self, target, lines):
+        """Rewrite ``target`` whole — a fresh generation-named section
+        file, never an in-place overwrite of referenced state and never
+        the manifest (the client has no such operation)."""
+        return self._call("write_section", target, list(lines))
+
+
+class DfsGateway:
+    """The front-end side: mints one :class:`DfsClient` per worker and
+    pumps their requests against the real DFS."""
+
+    #: Locking contract (statlint ``lock-discipline``): clients are
+    #: minted from whichever thread spawns a worker (probe path, ingest
+    #: registrar) while close() may run elsewhere and the pump thread
+    #: routes replies — the registry and the pump-thread slot stay under
+    #: one lock. The pump's DFS writes themselves are serialized by the
+    #: checkpoint protocol, not here (see the module docstring).
+    GUARDED_BY = {"_clients": "_lock", "_next_client": "_lock",
+                  "_pump_thread": "_lock"}
+
+    def __init__(self, dfs, context):
+        self.dfs = dfs
+        self._context = context
+        self._requests = context.Queue()
+        self._lock = threading.Lock()
+        self._clients = {}        # client id -> its reply queue
+        self._next_client = 0
+        self._pump_thread = None
+        #: requests served (observability; pump-thread-private counter,
+        #: read racily by describe()/tests — monotonic, so a stale read
+        #: only undercounts)
+        self.writes = 0
+
+    def client(self):
+        """Mint one :class:`DfsClient`. Call **before** forking the
+        worker that will hold it: multiprocessing queues travel by
+        inheritance, not pickling."""
+        with self._lock:
+            client_id = self._next_client
+            self._next_client += 1
+            replies = self._context.Queue()
+            self._clients[client_id] = replies
+            if self._pump_thread is None:
+                self._pump_thread = threading.Thread(
+                    target=self._pump, name="dfs-gateway", daemon=True)
+                self._pump_thread.start()
+        return DfsClient(client_id, self._requests, replies)
+
+    def _serve(self, method, target, lines):
+        if method == "append_lines":
+            self.dfs.append_lines(target, lines)
+        elif method == "write_section":
+            # Sections are generation-named immutable files: overwrite
+            # only ever re-lands identical bytes after a crashed ack
+            # (the coordinator's idempotent fallback), never replaces
+            # referenced content.
+            self.dfs.write_lines(target, lines, overwrite=True)
+        else:
+            raise RepositoryError(f"unknown gateway operation {method!r}")
+
+    def _pump(self):
+        while True:
+            request = self._requests.get()
+            if request is None:
+                return
+            client_id, method, target, lines = request
+            try:
+                self._serve(method, target, lines)
+                reply = ("ok", None)
+            except Exception as error:
+                # Surfaced, not swallowed: the error travels back to the
+                # waiting worker as a GatewayError; the pump itself must
+                # survive one bad request to serve the other workers.
+                reply = ("error", f"{type(error).__name__}: {error}")
+            self.writes += 1
+            with self._lock:
+                replies = self._clients.get(client_id)
+            if replies is not None:
+                replies.put(reply)
+
+    def close(self):
+        """Stop the pump and forget the clients (idempotent). A worker
+        calling through a closed gateway blocks forever — workers are
+        daemons torn down with their pool, which closes the gateway
+        last."""
+        with self._lock:
+            thread = self._pump_thread
+            self._pump_thread = None
+            self._clients = {}
+        if thread is not None:
+            self._requests.put(None)
+            thread.join(timeout=2.0)
+
+    def describe(self):
+        with self._lock:
+            clients = len(self._clients)
+            live = self._pump_thread is not None
+        return (f"DfsGateway: {clients} client(s), pump "
+                f"{'live' if live else 'stopped'}, {self.writes} "
+                f"write(s) served")
+
+    def __repr__(self):
+        return f"<{self.describe()}>"

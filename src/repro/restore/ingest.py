@@ -31,6 +31,15 @@ just later. A single re-entrant lock (``facade.lock``) serializes
 registrar batches against the submit path's match probes, so a probe
 never observes a half-applied batch.
 
+Worker-owned durability changes *where* a registrar batch's change
+records land, not *when*: they stay buffered in the log until the next
+``flush``/``checkpoint``, which routes each partition's records to its
+owning worker as one combined message with the pool's still-buffered
+mutations (no second front-end pass over the batch). Flushing per batch
+instead would change the durability cadence between inline and async
+mode and break the property suite's checkpoint-report parity — the
+cadence is the log's, never the registrar's.
+
 Backpressure is explicit (:class:`IngestQueue`): ``block`` (wait for
 room — exact inline parity), ``reject`` (drop the registration, report
 it, and discard its materialized file so nothing leaks), or

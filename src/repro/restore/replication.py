@@ -245,6 +245,53 @@ class ReplicatedWorkerPool(ShardWorkerPool):
                 stats.replica_fanout += 1
         return replicas[cursor]
 
+    # Worker-owned durability ------------------------------------------------
+
+    def _durable_worker(self, shard_id):
+        """The shard's durable owner: replica index 0. Replicas must
+        agree on who appends — exactly one does — so ownership is a
+        position, not a process: pruning a dead slot-0 replica
+        *promotes* the next survivor to durable ownership along with
+        its probe duties. The whole set is fed the mutation stream
+        first (peers must stay bit-identical before the owner
+        checkpoints their shared state). Never spawns: a shard whose
+        set was never started checkpoints front-end-side."""
+        if self._closed or shard_id not in self._replica_sets:
+            return None
+        self._prune_dead(shard_id)
+        self._flush_to_replicas(shard_id)
+        replicas = self._replica_sets.get(shard_id) or ()
+        primary = replicas[0] if replicas else None
+        if (primary is None or not primary.alive()
+                or not primary.durable_capable):
+            return None
+        return primary
+
+    def flush_durable(self, shard_id, segment, lines):
+        """Replicated durable flush: every live replica got the
+        mutation batch (via :meth:`_durable_worker`'s set-wide flush),
+        but only the durable owner carries the segment payload and acks
+        the append. An owner that dies with the append in flight is
+        pruned — promoting the next survivor — *before* the
+        :class:`WorkerCrashed` propagates, so the caller's
+        reconcile-then-retry lands on the new owner; re-appending what
+        the dead owner already flushed is prevented by the caller's
+        watermark dedup, which is what the failover double-append
+        regression test pins down."""
+        primary = self._durable_worker(shard_id)
+        if primary is None:
+            return False
+        payload = {"segment": segment, "lines": list(lines)}
+        try:
+            primary.send(("apply", self._buffers.get(shard_id, []),
+                          payload))
+            answer = primary.receive()
+        except WorkerCrashed:
+            self._prune_dead(shard_id)
+            raise
+        return bool(isinstance(answer, dict)
+                    and answer.get("appended") is not None)
+
     # Base-pool integration points -------------------------------------------
 
     def _ready_worker(self, shard_id):
@@ -346,6 +393,9 @@ class ReplicatedWorkerPool(ShardWorkerPool):
         self._replica_sets = {}
         self._buffers = {}
         self._backfill_due = set()
+        if self._gateway is not None:
+            self._gateway.close()
+            self._gateway = None
 
     def describe(self):
         live = sum(1 for replicas in self._replica_sets.values()

@@ -331,7 +331,17 @@ class ShardedRepository(Repository):
             shard.stats.match_hits += 1
 
     def close(self):
-        """Release the probe executor (no-op for the serial executor)."""
+        """Release the probe executor (no-op for the serial executor).
+
+        An attached :class:`~repro.restore.wal.RepositoryLog` is flushed
+        first: under worker-owned durability its pending records route
+        through the very workers this call is about to tear down, so
+        flushing after the pool closed would silently fall back to the
+        front-end path — correct but unrouted. Flushing here keeps
+        "close() loses nothing" true on the worker-owned path too."""
+        log = getattr(self, "persistence_log", None)
+        if log is not None and getattr(log, "repository", None) is self:
+            log.flush()
         self._executor.close()
 
     def shard_id_of(self, entry):

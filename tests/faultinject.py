@@ -28,8 +28,12 @@ into a diagnosable failure.
 """
 
 import faulthandler
+import multiprocessing
+import os
 import random
+import signal
 
+from repro.restore import gateway as _gateway
 from repro.restore import service as _service
 
 #: per-test wall-clock ceiling for worker/replica IPC tests (seconds)
@@ -49,6 +53,32 @@ def install_hang_guard(timeout=WORKER_TEST_TIMEOUT):
     """
     faulthandler.dump_traceback_later(timeout, exit=True)
     return faulthandler.cancel_dump_traceback_later
+
+
+def kill_worker(handle):
+    """SIGKILL ``handle``'s process without poisoning the DFS gateway.
+
+    A durable-capable worker shares one multiprocessing request queue
+    with every other worker of its pool (the gateway's). Queue puts are
+    asynchronous — a feeder thread in the worker sends the bytes under
+    the queue's shared write lock — so a SIGKILL that lands between the
+    send and the lock release leaves the lock held forever: every
+    surviving worker's durable write then blocks, the coordinator's
+    receive-poll spins on the silent-but-alive workers, and interpreter
+    shutdown deadlocks joining the parent's own feeder. Holding the
+    lock across the kill rules the window out: the victim's feeder
+    either already released it (which is how we acquired) or has not
+    yet acquired it (and dies holding nothing).
+    """
+    client = getattr(handle, "durable_store", None)
+    wlock = getattr(getattr(client, "_requests", None), "_wlock", None)
+    if wlock is None:
+        handle.process.kill()
+        handle.process.join(timeout=5.0)
+        return
+    with wlock:
+        handle.process.kill()
+        handle.process.join(timeout=5.0)
 
 
 class FaultSchedule:
@@ -132,8 +162,7 @@ class FaultSchedule:
                 schedule._counts[key] = count
                 if schedule._kills.get(key) == count:
                     schedule.killed.append(key + (message[0],))
-                    handle.process.kill()
-                    handle.process.join(timeout=5.0)
+                    kill_worker(handle)
             return original(handle, message)
 
         self._original_send = original
@@ -150,3 +179,152 @@ class FaultSchedule:
         """Victims whose Nth message has not arrived yet."""
         return {key: nth for key, nth in self._kills.items()
                 if self._counts.get(key, 0) < nth}
+
+
+class ProtocolWindowKill:
+    """Kill a durable-owner worker at one chosen window of the
+    worker-owned checkpoint protocol (PERSISTENCE §6), deterministically.
+
+    Message counts (:class:`FaultSchedule`) cannot name the windows that
+    matter for worker-owned durability — "after the segment append hit
+    the DFS but before the ack" is a point *inside* one message's
+    handling, not between messages. This harness pins each window
+    exactly:
+
+    * ``"segment-append"`` — the combined mutation+append message is
+      being sent to the durable owner; the victim dies **before
+      delivery**, so nothing reached the segment and the coordinator
+      sees ``WorkerCrashed`` on the send (uncertainty resolved to "not
+      appended": the watermark reconcile must keep every record).
+    * ``"segment-appended"`` — the worker's gateway ``append_lines``
+      returned (the records are durable) and the worker dies **before
+      acking**; the coordinator's receive raises and the reconcile must
+      drop exactly the appended records (the double-append window).
+    * ``"section-written"`` — the worker's gateway ``write_section``
+      returned (the new generation-named section exists) and the worker
+      dies **before acking**; the coordinator must rewrite the section
+      itself — byte-identical, so the overwrite is invisible.
+    * ``"acked"`` — the worker's ``compact_section`` ack was received
+      and the worker dies **before the manifest swap**; the swap is
+      front-end work, so the checkpoint completes and only the next
+      probe notices the corpse.
+
+    The worker-side windows (``"segment-appended"``,
+    ``"section-written"``) patch :class:`~repro.restore.gateway.DfsClient`
+    **at class level**: enter the context *before the pool spawns its
+    workers*, so the forked children inherit the patched method. After
+    the real write returns, the patched method flips a shared
+    ``fired`` flag and SIGKILLs its own process — the first durable
+    write through any inherited client fires, which is deterministic
+    because one repository per test owns a gateway. The front-end
+    windows (``"segment-append"``, ``"acked"``) patch
+    ``_WorkerHandle`` send/receive like :class:`FaultSchedule` does.
+
+    ``fired`` reads the (process-shared) flag; ``killed`` records
+    ``(shard_id, replica_seq, window)`` for the front-end windows
+    (worker-side kills cannot know their shard — check ``fired``).
+    """
+
+    WINDOWS = ("segment-append", "segment-appended", "section-written",
+               "acked")
+
+    def __init__(self, window):
+        if window not in self.WINDOWS:
+            raise ValueError(
+                f"unknown protocol window {window!r}; pick one of "
+                f"{self.WINDOWS}")
+        self.window = window
+        self.killed = []
+        # Shared with forked workers: a worker-side kill must be
+        # observable from the test process.
+        self._fired = multiprocessing.Value("i", 0)
+        self._originals = []
+
+    @property
+    def fired(self):
+        return bool(self._fired.value)
+
+    def _fire_once(self):
+        """Atomically claim the (single) kill; False when already fired."""
+        with self._fired.get_lock():
+            if self._fired.value:
+                return False
+            self._fired.value = 1
+            return True
+
+    def __enter__(self):
+        harness = self
+
+        def patch(owner, name, replacement):
+            self._originals.append((owner, name, getattr(owner, name)))
+            setattr(owner, name, replacement)
+
+        if self.window == "segment-append":
+            original_send = _service._WorkerHandle.send
+
+            def killing_send(handle, message):
+                if (message[0] == "apply" and len(message) > 2
+                        and harness._fire_once()):
+                    harness.killed.append(
+                        (handle.shard_id,
+                         getattr(handle, "replica_seq", 0),
+                         harness.window))
+                    kill_worker(handle)
+                return original_send(handle, message)
+
+            patch(_service._WorkerHandle, "send", killing_send)
+        elif self.window in ("segment-appended", "section-written"):
+            method = ("append_lines" if self.window == "segment-appended"
+                      else "write_section")
+            original_call = getattr(_gateway.DfsClient, method)
+
+            def dying_write(client, target, lines):
+                answer = original_call(client, target, lines)
+                if harness._fire_once():
+                    # The write is durable (the gateway pump acked);
+                    # die before the protocol-level ack. One care: the
+                    # reply can race this process's queue feeder
+                    # thread, which may still sit between sending the
+                    # request bytes and releasing the gateway queue's
+                    # shared write lock — SIGKILL in that window
+                    # poisons the lock for every surviving worker
+                    # (their writes, and the coordinator polling them,
+                    # block forever). Cycling the lock first proves
+                    # the feeder is idle; nothing else in this process
+                    # enqueues, so nothing re-acquires before we die.
+                    wlock = getattr(client._requests, "_wlock", None)
+                    if wlock is not None:
+                        with wlock:
+                            pass
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return answer
+
+            patch(_gateway.DfsClient, method, dying_write)
+        else:  # "acked"
+            original_send = _service._WorkerHandle.send
+            original_receive = _service._WorkerHandle.receive
+
+            def tagging_send(handle, message):
+                handle._last_op_sent = message[0]
+                return original_send(handle, message)
+
+            def killing_receive(handle):
+                answer = original_receive(handle)
+                if (getattr(handle, "_last_op_sent", None)
+                        == "compact_section" and harness._fire_once()):
+                    harness.killed.append(
+                        (handle.shard_id,
+                         getattr(handle, "replica_seq", 0),
+                         harness.window))
+                    kill_worker(handle)
+                return answer
+
+            patch(_service._WorkerHandle, "send", tagging_send)
+            patch(_service._WorkerHandle, "receive", killing_receive)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        while self._originals:
+            owner, name, original = self._originals.pop()
+            setattr(owner, name, original)
+        return False

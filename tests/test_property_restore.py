@@ -30,6 +30,7 @@ same randomized stream.
 
 import contextlib
 import itertools
+import json
 import random
 
 import pytest
@@ -57,7 +58,8 @@ from repro.restore.matcher import contains, find_containment, pairwise_plan_trav
 from repro.restore.persistence import CATCHALL_LABEL, segment_file_path
 from repro.restore.stats import EntryStats
 
-from tests.faultinject import FaultSchedule, install_hang_guard
+from tests.faultinject import (FaultSchedule, install_hang_guard,
+                               ProtocolWindowKill)
 
 SCHEMA = Schema(
     [
@@ -644,6 +646,176 @@ def test_property_replicated_workers_equivalent_under_faults(plan_pool):
                 log.close()
                 for _, repo in fleet:
                     repo.close()
+    finally:
+        cancel_guard()
+
+
+# --- Worker-owned durability: crash matrix over the checkpoint protocol -------
+#
+# The seventh fault family (PR 10): the durable protocol between the
+# front-end RepositoryLog and the owning workers has four windows a
+# crash can land in — before the combined append is delivered, after the
+# segment append is durable but before the ack, after the section
+# rewrite is durable but before the ack, and after the ack but before
+# the manifest swap. One window per stream, each window exercised at
+# both shard counts across the 12 streams: whatever the window, the
+# coordinator must heal inside the same flush/compact, the stream must
+# continue in lock-step with the serial twin and the frozen seed, and
+# reload must be bit-identical to the live repository — the only
+# on-DFS residue being orphan/stale data the loader already tolerates.
+
+
+def test_property_worker_durable_crash_matrix(plan_pool):
+    cancel_guard = install_hang_guard(600.0)
+    try:
+        for stream in range(12):
+            window = ProtocolWindowKill.WINDOWS[stream % 4]
+            num_shards = (2, 8)[stream % 2]
+            rng = random.Random(19000 + stream)
+            dfs = DistributedFileSystem()
+            seed = LinearScanRepository()
+            # Entered before the repositories exist: the worker-side
+            # windows patch DfsClient at class level, and forked workers
+            # only see patches installed before the fork.
+            with ProtocolWindowKill(window) as crash:
+                fleet = [
+                    ("serial", ShardedRepository(num_shards=num_shards)),
+                    ("worker-durable",
+                     ShardedRepository(num_shards=num_shards,
+                                       executor="processes")),
+                ]
+                live = fleet[1][1]
+                log = RepositoryLog(dfs)
+                log.attach(live)
+                twins = {}
+                plans = {}
+                tick = 0
+
+                def insert(tag):
+                    plan = _pool_plan(plan_pool,
+                                      rng.randrange(len(plan_pool)),
+                                      rng.choice([0, 0, 1]))
+                    stat_values = dict(
+                        input_bytes=rng.choice([1000, 2000, 10000]),
+                        output_bytes=rng.choice([10, 100, 1000]),
+                        producing_job_time=rng.choice([1.0, 5.0, 60.0]),
+                        created_tick=tick,
+                    )
+                    path = f"/stored/c{stream}-{tag}"
+                    # One EntryStats per twin: use-stamps travel into
+                    # the workers as values, so each repository's entry
+                    # carries its own per-repo history.
+                    entries = [RepositoryEntry(plan, path,
+                                               EntryStats(**stat_values))
+                               for _ in range(len(fleet) + 1)]
+                    for (_, repo), entry in zip(fleet, entries):
+                        repo.insert(entry)
+                    seed.insert(entries[-1])
+                    twins[path] = entries
+                    plans[path] = plan
+
+                def run_steps(count, phase):
+                    nonlocal tick
+                    for step in range(count):
+                        context = (f"stream={stream} window={window} "
+                                   f"{phase}={step}")
+                        action = rng.random()
+                        if action < 0.50 or not twins:
+                            insert(f"{phase}-{step}")
+                        elif action < 0.62:
+                            victim = seed.scan()[rng.randrange(len(seed))]
+                            entries = twins.pop(victim.output_path)
+                            plans.pop(victim.output_path)
+                            for (_, repo), entry in zip(fleet, entries):
+                                repo.remove(entry)
+                            seed.remove(entries[-1])
+                        elif action < 0.72:
+                            tick += 1
+                            victim = seed.scan()[rng.randrange(len(seed))]
+                            for (_, repo), entry in zip(
+                                    fleet, twins[victim.output_path]):
+                                repo.record_use(entry, tick)
+                        else:
+                            probes = [
+                                _pool_plan(plan_pool,
+                                           rng.randrange(len(plan_pool)),
+                                           rng.choice([0, 0, 1]))
+                                for _ in range(rng.randint(1, 3))]
+                            expected = [
+                                _first_match_path(seed.scan(), probe)
+                                for probe in probes]
+                            for name, repo in fleet:
+                                candidates = [repo.match_candidates(probe)
+                                              for probe in probes]
+                                firsts = [_first_match_path(cs, probe)
+                                          for cs, probe in zip(candidates,
+                                                               probes)]
+                                assert firsts == expected, (context, name)
+                        for name, repo in fleet:
+                            assert [e.output_path for e in repo.scan()] == \
+                                [e.output_path for e in seed.scan()], \
+                                (context, name)
+
+                try:
+                    assert live.worker_pool.durable_enabled, stream
+                    run_steps(rng.randint(6, 10), "pre")
+                    if not twins:
+                        insert("tail")
+                    # Probing with every live entry's plan consults (and
+                    # therefore spawns) the worker of every partition
+                    # holding pending records or members — the kill
+                    # windows need the durable protocol to actually run,
+                    # and flush_durable/compact_sections never spawn.
+                    live.match_candidates_batch(list(plans.values()))
+                    if window in ("segment-append", "segment-appended"):
+                        log.flush()
+                    else:
+                        log.compact()
+                    assert crash.fired, (stream, window)
+                    if window == "segment-append":
+                        # Died before delivery: nothing reached the
+                        # segment, so the reconcile keeps every record
+                        # and the fallback re-append loses nothing.
+                        assert crash.killed, (stream, window)
+                        assert log.reconciled_records == 0, (stream,
+                                                             window)
+                    elif window == "segment-appended":
+                        # The double-append window: the records landed
+                        # but the ack did not, so the watermark
+                        # reconcile must have dropped exactly the
+                        # landed lines — no seq appears twice in any
+                        # segment.
+                        assert log.reconciled_records > 0, (stream,
+                                                            window)
+                        for label in sorted(log._segment_records):
+                            segment = log._segment_path(label)
+                            if not dfs.exists(segment):
+                                continue
+                            seqs = [json.loads(line)["seq"]
+                                    for line in dfs.read_lines(segment)]
+                            assert len(seqs) == len(set(seqs)), \
+                                (stream, window, label)
+                    elif window == "acked":
+                        # The ack arrived before the kill, so at least
+                        # one section rewrite was worker-owned and the
+                        # manifest swap (front-end work) completed.
+                        assert crash.killed, (stream, window)
+                        assert log.worker_sections >= 1, (stream, window)
+                    _assert_reload_matches_live(
+                        dfs, live, plan_pool, rng,
+                        f"stream={stream} window={window} mid")
+                    # The coordinator healed around the corpse inside
+                    # the same flush/compact; the stream continues and
+                    # the next probe of the dead shard recovers it.
+                    run_steps(rng.randint(4, 8), "post")
+                    log.checkpoint()
+                    _assert_reload_matches_live(
+                        dfs, live, plan_pool, rng,
+                        f"stream={stream} window={window} reload")
+                finally:
+                    log.close()
+                    for _, repo in fleet:
+                        repo.close()
     finally:
         cancel_guard()
 

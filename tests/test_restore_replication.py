@@ -4,6 +4,7 @@ the crash-window edges, and the response-timeout plumbing in
 ``_WorkerHandle`` — all crashes injected through the deterministic
 ``tests/faultinject.FaultSchedule``."""
 
+import json
 import multiprocessing
 
 import pytest
@@ -11,6 +12,7 @@ import pytest
 from repro.physical.operators import POLoad, POStore
 from repro.physical.plan import PhysicalPlan
 from repro.restore import (
+    load_repository,
     ReplicatedWorkerPool,
     RepositoryEntry,
     RepositoryLog,
@@ -22,7 +24,8 @@ from repro.restore.service import _WorkerHandle, WorkerCrashed
 from repro.restore.sharding import shard_index_for_key
 from repro.restore.stats import EntryStats
 
-from tests.faultinject import FaultSchedule, install_hang_guard
+from tests.faultinject import (FaultSchedule, install_hang_guard,
+                               ProtocolWindowKill)
 from tests.helpers import make_dfs
 
 
@@ -329,6 +332,76 @@ class TestCrashWindows:
         finally:
             replicated.close()
             serial.close()
+
+
+class TestWorkerDurableFailover:
+    def test_owner_death_after_append_dedups_on_promoted_owner(self):
+        """The failover double-append window (PR 10): the durable owner
+        appends its segment lines and dies before acking; the pool
+        prunes it — promoting the surviving replica to ownership — and
+        re-raises, and the log's watermark reconcile must recognize the
+        landed records so the retry on the *promoted* owner re-appends
+        nothing. Every record ends up in its segment exactly once, and
+        the next durable flush routes through the promoted owner."""
+        dfs = make_dfs()
+        # Entered before the repository exists: the worker-side window
+        # patches DfsClient at class level and forked replicas only see
+        # patches installed before the fork.
+        with ProtocolWindowKill("segment-appended") as crash:
+            replicated = ShardedRepository(num_shards=2,
+                                           executor="processes",
+                                           replicas=2)
+            log = RepositoryLog(dfs)
+            log.attach(replicated)
+            try:
+                pool = replicated.worker_pool
+                assert pool.durable_enabled
+                paths = [f"/data/d{index}" for index in range(3)]
+                for index in range(8):
+                    replicated.insert(_entry(index, paths[index % 3]))
+                # Spawn the replica sets: flush_durable never spawns,
+                # and the kill window needs a worker-owned append.
+                for index, path in enumerate(paths):
+                    replicated.match_candidates(
+                        _chain_plan(1000 + index, path, extra_op="warm"))
+                # The victim is the owner of the first flushed label —
+                # the lowest spawned shard id.
+                victim_shard = min(_owner_of(path, 2) for path in paths)
+                assert pool.replica_count(victim_shard) == 2
+                assert log.flush() == 8
+                assert crash.fired
+                # The records landed before the crash, so the reconcile
+                # dropped them from the pending buffer instead of
+                # re-appending: exactly one copy of each in its segment.
+                assert log.reconciled_records > 0
+                seqs = []
+                for label in sorted(log._segment_records):
+                    segment = log._segment_path(label)
+                    if dfs.exists(segment):
+                        seqs.extend(json.loads(line)["seq"]
+                                    for line in dfs.read_lines(segment))
+                assert sorted(seqs) == sorted(set(seqs))
+                assert len(seqs) == 8
+                # The dead owner was pruned; its surviving peer now
+                # *is* replica 0 — durable ownership is positional.
+                assert pool.replica_count(victim_shard) == 1
+                assert pool.failovers >= 1
+                # The promoted owner serves the next durable flush.
+                target = next(path for path in paths
+                              if _owner_of(path, 2) == victim_shard)
+                flushes_before = log.worker_flushes
+                replicated.insert(_entry(50, target))
+                assert log.flush() == 1
+                assert log.worker_flushes == flushes_before + 1
+                # Reload sees exactly the live state — nothing lost to
+                # the crash, nothing doubled by the retry.
+                log.checkpoint()
+                reloaded = load_repository(dfs)
+                assert [e.output_path for e in reloaded.scan()] \
+                    == [e.output_path for e in replicated.scan()]
+            finally:
+                log.close()
+                replicated.close()
 
 
 class TestResponseTimeout:

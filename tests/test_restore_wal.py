@@ -3,6 +3,7 @@ repository log (per-shard segments + dirty-only compaction), and
 crash-safe replay (PR 4, segmented in PR 5)."""
 
 import json
+import threading
 
 import pytest
 
@@ -614,6 +615,75 @@ class TestDirtyOnlyCompaction:
                       if section["file"] is not None}
         on_disk = set(dfs.list_files(prefix=f"{SNAPSHOT}.sec-"))
         assert on_disk == referenced  # no orphan generations left behind
+
+
+class TestSnapshotCompactionBarrier:
+    def test_concurrent_snapshot_during_compact(self):
+        """``partition_snapshot`` holds the log mutex for its whole read
+        — the mutex *is* the compaction barrier (worker re-seeds race
+        checkpoints in the process-backed pools). A barrier-less read
+        could catch compaction's window between the manifest swap and
+        the segment truncation/GC: a superseded section file already
+        deleted (keys vanish) or a pending buffer popped before its
+        records are subsumed durably (use counts regress). Hammer
+        snapshots from a thread through many use-stamp/compact rounds:
+        every observed snapshot must hold the full key set with
+        monotonically non-decreasing use counts."""
+        dfs = DistributedFileSystem()
+        live = ShardedRepository(num_shards=2)
+        entries = [fabricated_entry(index) for index in range(10)]
+        for entry in entries:
+            live.insert(entry)
+        log = RepositoryLog(dfs).attach(live)
+        try:
+            sizes = live.shard_sizes()
+            shard_id = max(sizes, key=lambda sid: sizes[sid])
+            expected_keys = set(log.partition_snapshot(shard_id))
+            assert expected_keys
+            failures = []
+            stop = threading.Event()
+
+            def hammer():
+                last_counts = {}
+                while not stop.is_set():
+                    try:
+                        snapshot = log.partition_snapshot(shard_id)
+                    except Exception as error:
+                        failures.append(("raised", repr(error)))
+                        return
+                    if set(snapshot) != expected_keys:
+                        failures.append(("keys", set(snapshot)))
+                        return
+                    for key, entry_json in snapshot.items():
+                        count = entry_json["stats"]["use_count"]
+                        if count < last_counts.get(key, 0):
+                            failures.append(("regressed", key, count,
+                                             last_counts[key]))
+                            return
+                        last_counts[key] = count
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            tick = 0
+            rounds = 30
+            try:
+                for _ in range(rounds):
+                    for entry in entries:
+                        tick += 1
+                        live.record_use(entry, tick)
+                    log.compact()
+            finally:
+                stop.set()
+                thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert not failures, failures[0]
+            final = log.partition_snapshot(shard_id)
+            assert set(final) == expected_keys
+            assert all(entry_json["stats"]["use_count"] == rounds
+                       for entry_json in final.values())
+        finally:
+            log.close()
+            live.close()
 
 
 class TestOrderDeltaManifests:
